@@ -1,0 +1,86 @@
+// Command pag-experiments regenerates the tables and figures of the PAG
+// paper's evaluation (§VII).
+//
+// Usage:
+//
+//	pag-experiments -exp all
+//	pag-experiments -exp fig7 -nodes 432 -stream 300
+//	pag-experiments -exp table2
+//	pag-experiments -exp fig10
+//	pag-experiments -exp proverif
+//
+// Experiments: fig7, fig8, fig9, fig10, table1, table2, proverif, all.
+// -quick shrinks system sizes and rates for a fast pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: fig7|fig8|fig9|fig10|table1|table2|proverif|all")
+		nodes   = flag.Int("nodes", 0, "simulated system size (default 48; paper deployment used 432)")
+		stream  = flag.Int("stream", 0, "stream bitrate in kbps (default 300)")
+		rounds  = flag.Int("rounds", 0, "measured rounds (default 20)")
+		modBits = flag.Int("modulus", 0, "homomorphic modulus bits (default 512)")
+		quick   = flag.Bool("quick", false, "fast profile: small system, low rate, 128-bit modulus")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Nodes:         *nodes,
+		StreamKbps:    *stream,
+		MeasureRounds: *rounds,
+		ModulusBits:   *modBits,
+		Quick:         *quick,
+		Seed:          *seed,
+	}
+
+	runners := map[string]func(experiments.Options) (experiments.Result, error){
+		"fig7":     experiments.Fig7,
+		"fig8":     experiments.Fig8,
+		"fig9":     experiments.Fig9,
+		"fig10":    experiments.Fig10,
+		"table1":   experiments.Table1,
+		"table2":   experiments.Table2,
+		"proverif": experiments.ProVerif,
+	}
+
+	var results []experiments.Result
+	if *exp == "all" {
+		rs, err := experiments.All(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pag-experiments:", err)
+			return 1
+		}
+		results = rs
+	} else {
+		runner, ok := runners[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pag-experiments: unknown experiment %q\n", *exp)
+			flag.Usage()
+			return 2
+		}
+		r, err := runner(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pag-experiments:", err)
+			return 1
+		}
+		results = []experiments.Result{r}
+	}
+
+	for _, r := range results {
+		fmt.Printf("==== %s: %s ====\n\n%s\n", r.ID, r.Title, r.Text)
+	}
+	return 0
+}

@@ -1,0 +1,56 @@
+// Coalition: the privacy half of the paper — §VI-A's symbolic analysis
+// and §VII-E's probabilistic study, side by side. Shows that coalitions
+// below the threshold learn nothing, that the threshold coalition mounts
+// the remainder-division attack, and how PAG's discovery curve compares
+// with AcTinG's across attacker fractions.
+//
+//	go run ./examples/coalition
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/coalition"
+	"repro/internal/dolevyao"
+)
+
+func main() {
+	fmt.Println("— symbolic analysis (§VI-A): exchange A0→B, f = 3 —")
+	cases := []struct {
+		name string
+		sc   dolevyao.Scenario
+	}{
+		{"passive global attacker", dolevyao.Scenario{Preds: 3, Monitors: 3}},
+		{"all 3 monitors collude", dolevyao.Scenario{Preds: 3, Monitors: 3,
+			CorruptMons: []int{0, 1, 2}}},
+		{"both other predecessors collude", dolevyao.Scenario{Preds: 3, Monitors: 3,
+			CorruptPreds: []int{1, 2}}},
+		{"1 monitor + 1 predecessor (threshold)", dolevyao.Scenario{Preds: 3, Monitors: 3,
+			Designate:    func(int) int { return 0 },
+			CorruptPreds: []int{2}, CorruptMons: []int{0}}},
+	}
+	for _, c := range cases {
+		s := dolevyao.BuildPAGRound(c.sc)
+		s.Close()
+		verdict := "u0 safe — P1 holds"
+		if s.KnowsUpdate(dolevyao.UpdateName(0)) {
+			verdict = "u0 DERIVED — attack found"
+		}
+		fmt.Printf("  %-40s %s\n", c.name, verdict)
+	}
+
+	fmt.Println("\n— probabilistic study (Fig 10): interactions discovered —")
+	fracs := []float64{0.05, 0.1, 0.2, 0.3, 0.5}
+	pag3 := coalition.Sweep(coalition.Config{Fanout: 3, Monitors: 3, Trials: 50000, Seed: 1}, fracs)
+	pag5 := coalition.Sweep(coalition.Config{Fanout: 5, Monitors: 5, Trials: 50000, Seed: 2}, fracs)
+	fmt.Printf("  %-14s %-12s %-10s %-10s %-10s\n",
+		"attackers(%)", "AcTinG(%)", "PAG-3(%)", "PAG-5(%)", "minimum(%)")
+	for i, p := range pag3 {
+		fmt.Printf("  %-14.0f %-12.1f %-10.1f %-10.1f %-10.1f\n",
+			p.AttackerFraction*100, p.AcTinG*100,
+			p.PAG*100, pag5[i].PAG*100, p.Minimum*100)
+	}
+	fmt.Println("\nAcTinG's logs reveal everything once any auditor is corrupted;")
+	fmt.Println("PAG's per-round primes keep discovery near the theoretical minimum,")
+	fmt.Println("and five monitors sit closer to it than three (paper's Fig 10).")
+}

@@ -1,0 +1,282 @@
+package acting
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/pki"
+	"repro/internal/securelog"
+	"repro/internal/transport"
+)
+
+// HandleMessage is the transport handler.
+func (n *Node) HandleMessage(msg transport.Message) {
+	switch msg.Kind {
+	case kindPropose:
+		n.onPropose(msg)
+	case kindRequest:
+		n.onRequest(msg)
+	case kindData:
+		n.onData(msg)
+	case kindComplaint:
+		n.onComplaint(msg)
+	case kindAuditRequest:
+		n.onAuditRequest(msg)
+	case kindAuditReply:
+		n.onAuditReply(msg)
+	}
+}
+
+func (n *Node) verifySig(signer model.NodeID, body, sig []byte) bool {
+	return pki.VerifyCounted(n.cfg.Suite, n.cfg.Identity.Counter(), signer, body, sig) == nil
+}
+
+// onPropose requests the updates this node misses. Each identifier is
+// requested from at most one proposer per round (this single-transfer
+// discipline is why AcTinG stays near the stream rate, §VII-B).
+func (n *Node) onPropose(msg transport.Message) {
+	p, err := unmarshalPropose(msg.Payload)
+	if err != nil || p.From != msg.From || p.To != n.id || p.Round != n.round {
+		return
+	}
+	if !n.verifySig(p.From, p.SigningBytes(), p.Sig) {
+		return
+	}
+	n.log.Append(n.round, securelog.EntryRecv, p.From, encodeIDList("PROPOSE", p.IDs))
+
+	already := make(map[model.UpdateID]bool)
+	for _, ids := range n.requestedFrom {
+		for _, id := range ids {
+			already[id] = true
+		}
+	}
+	var want []model.UpdateID
+	for _, id := range p.IDs {
+		if !n.store.Has(id) && !already[id] {
+			want = append(want, id)
+		}
+	}
+	if len(want) == 0 {
+		return
+	}
+	n.requestedFrom[p.From] = append(n.requestedFrom[p.From], want...)
+	req := &requestMsg{Round: n.round, From: n.id, To: p.From, IDs: want}
+	n.signAndSend(p.From, kindRequest, req)
+	n.log.Append(n.round, securelog.EntrySend, p.From, encodeIDList("REQ", want))
+}
+
+// onRequest serves the requested updates (unless free-riding) and logs both
+// sides of the interaction.
+func (n *Node) onRequest(msg transport.Message) {
+	req, err := unmarshalRequest(msg.Payload)
+	if err != nil || req.From != msg.From || req.To != n.id || req.Round != n.round {
+		return
+	}
+	if !n.verifySig(req.From, req.SigningBytes(), req.Sig) {
+		return
+	}
+	n.log.Append(n.round, securelog.EntryRecv, req.From, encodeIDList("REQ", req.IDs))
+
+	if n.cfg.Behavior.FreeRide {
+		return // save the upload; the audit or a complaint will tell
+	}
+	data := &dataMsg{Round: n.round, From: n.id, To: req.From}
+	var served []model.UpdateID
+	for _, id := range req.IDs {
+		if e := n.store.Get(id); e != nil {
+			data.Updates = append(data.Updates, e.Update)
+			served = append(served, id)
+		}
+	}
+	if len(served) == 0 {
+		return
+	}
+	n.signAndSend(req.From, kindData, data)
+	n.log.Append(n.round, securelog.EntrySend, req.From, encodeIDList("DATA", served))
+	if n.servedTo[req.From] == nil {
+		n.servedTo[req.From] = make(map[model.UpdateID]bool)
+	}
+	for _, id := range served {
+		n.servedTo[req.From][id] = true
+	}
+}
+
+// onData stores verified updates and schedules them for next round's
+// proposal.
+func (n *Node) onData(msg transport.Message) {
+	d, err := unmarshalData(msg.Payload)
+	if err != nil || d.From != msg.From || d.To != n.id || d.Round != n.round {
+		return
+	}
+	if !n.verifySig(d.From, d.SigningBytes(), d.Sig) {
+		return
+	}
+	var got []model.UpdateID
+	for _, u := range d.Updates {
+		src, ok := n.streamSource(u.ID.Stream)
+		if !ok || !n.verifySig(src, u.CanonicalBytes(), u.SrcSig) {
+			return
+		}
+		if n.store.Add(u, n.round, 1, true) {
+			n.stats.UpdatesReceived++
+			n.freshNext[u.ID] = true
+		}
+		got = append(got, u.ID)
+	}
+	n.log.Append(n.round, securelog.EntryRecv, d.From, encodeIDList("DATA", got))
+}
+
+func (n *Node) streamSource(s model.StreamID) (model.NodeID, bool) {
+	idx := int(s)
+	if idx < 0 || idx >= len(n.cfg.Sources) {
+		return model.NoNode, false
+	}
+	return n.cfg.Sources[idx], true
+}
+
+// onComplaint stores a peer complaint for the next audit of the accused.
+func (n *Node) onComplaint(msg transport.Message) {
+	c, err := unmarshalComplaint(msg.Payload)
+	if err != nil || c.From != msg.From {
+		return
+	}
+	if !n.verifySig(c.From, c.SigningBytes(), c.Sig) {
+		return
+	}
+	st, ok := n.audits[c.Against]
+	if !ok {
+		return // not a node we monitor
+	}
+	st.complaints = append(st.complaints, complaint{round: c.Round, from: c.From, ids: c.IDs})
+}
+
+// onAuditRequest answers with the log suffix (unless refusing). A
+// log-tampering node rewrites one entry of the suffix first — which the
+// chain verification will expose.
+func (n *Node) onAuditRequest(msg transport.Message) {
+	req, err := unmarshalAuditReq(msg.Payload)
+	if err != nil || req.From != msg.From {
+		return
+	}
+	if !n.verifySig(req.From, req.SigningBytes(), req.Sig) {
+		return
+	}
+	if !n.cfg.Directory.IsMonitorOf(req.From, n.id, n.round) {
+		return
+	}
+	if n.cfg.Behavior.RefuseAudit {
+		return
+	}
+	if n.cfg.Behavior.TamperLog && n.log.HeadSeq() > req.SinceSeq {
+		n.log.Tamper(req.SinceSeq+1, []byte("rewritten history"))
+	}
+	reply := &auditReplyMsg{
+		Round:   n.round,
+		From:    n.id,
+		Entries: n.log.Since(req.SinceSeq),
+	}
+	n.signAndSend(req.From, kindAuditReply, reply)
+}
+
+// onAuditReply verifies the fetched log suffix: chain integrity, proposal
+// coverage, serve compliance and outstanding complaints.
+func (n *Node) onAuditReply(msg transport.Message) {
+	reply, err := unmarshalAuditReply(msg.Payload)
+	if err != nil || reply.From != msg.From {
+		return
+	}
+	if !n.verifySig(reply.From, reply.SigningBytes(), reply.Sig) {
+		return
+	}
+	st, ok := n.audits[reply.From]
+	if !ok || !st.waiting {
+		return
+	}
+	st.waiting = false
+	n.stats.AuditsPerformed++
+	y := reply.From
+	r := reply.Round
+
+	if err := securelog.VerifyChain(st.lastSeq, st.lastHead, reply.Entries); err != nil {
+		n.report(Verdict{Round: r, Kind: VerdictTamperedLog, Accused: y,
+			Detail: err.Error()})
+		return
+	}
+
+	// Index the suffix: proposals and served data per (round, peer).
+	proposed := make(map[model.Round]map[model.NodeID]bool)
+	served := make(map[model.Round]map[model.NodeID]map[model.UpdateID]bool)
+	type reqEntry struct {
+		round model.Round
+		peer  model.NodeID
+		ids   []model.UpdateID
+	}
+	var requestsIn []reqEntry
+	for _, e := range reply.Entries {
+		tag, ids, err := decodeIDList(e.Content)
+		if err != nil {
+			continue
+		}
+		switch {
+		case e.Type == securelog.EntrySend && tag == "PROPOSE":
+			if proposed[e.Round] == nil {
+				proposed[e.Round] = make(map[model.NodeID]bool)
+			}
+			proposed[e.Round][e.Peer] = true
+		case e.Type == securelog.EntrySend && tag == "DATA":
+			if served[e.Round] == nil {
+				served[e.Round] = make(map[model.NodeID]map[model.UpdateID]bool)
+			}
+			if served[e.Round][e.Peer] == nil {
+				served[e.Round][e.Peer] = make(map[model.UpdateID]bool)
+			}
+			for _, id := range ids {
+				served[e.Round][e.Peer][id] = true
+			}
+		case e.Type == securelog.EntryRecv && tag == "REQ":
+			requestsIn = append(requestsIn, reqEntry{round: e.Round, peer: e.Peer, ids: ids})
+		}
+	}
+
+	// Proposal coverage: a proposal logged to every successor of every
+	// audited round.
+	for rr := st.lastRound + 1; rr <= r; rr++ {
+		for _, succ := range n.cfg.Directory.Successors(y, rr) {
+			if !proposed[rr][succ] {
+				n.report(Verdict{Round: r, Kind: VerdictMissingPropose, Accused: y,
+					Detail: fmt.Sprintf("no proposal to %v at %v", succ, rr)})
+			}
+		}
+	}
+
+	// Serve compliance: every logged incoming request answered in-round.
+	for _, req := range requestsIn {
+		for _, id := range req.ids {
+			if !served[req.round][req.peer][id] {
+				n.report(Verdict{Round: r, Kind: VerdictUnservedRequest, Accused: y,
+					Detail: fmt.Sprintf("request for %v from %v unanswered at %v",
+						id, req.peer, req.round)})
+			}
+		}
+	}
+
+	// Complaints: even if the node omitted the request from its log, the
+	// peer's signed complaint demands proof of service.
+	for _, c := range st.complaints {
+		for _, id := range c.ids {
+			if !served[c.round][c.from][id] {
+				n.report(Verdict{Round: r, Kind: VerdictUnservedRequest, Accused: y,
+					Detail: fmt.Sprintf("complaint by %v for %v at %v unrefuted",
+						c.from, id, c.round)})
+			}
+		}
+	}
+	st.complaints = nil
+
+	if len(reply.Entries) > 0 {
+		last := reply.Entries[len(reply.Entries)-1]
+		st.lastSeq = last.Seq
+		st.lastHead = last.Hash
+	}
+	st.lastRound = r
+}

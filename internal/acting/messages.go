@@ -1,0 +1,407 @@
+package acting
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/securelog"
+	"repro/internal/update"
+	"repro/internal/wire"
+)
+
+// AcTinG's wire messages, encoded with the shared deterministic codec.
+
+type signable interface {
+	SigningBytes() []byte
+	Marshal() []byte
+	setSig([]byte)
+}
+
+func (n *Node) signAndSend(to model.NodeID, kind uint8, m signable) {
+	sig, err := n.cfg.Identity.Sign(m.SigningBytes())
+	if err != nil {
+		return
+	}
+	m.setSig(sig)
+	_ = n.cfg.Endpoint.Send(to, kind, m.Marshal())
+}
+
+func putIDs(w *wire.Writer, ids []model.UpdateID) {
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.U32(uint32(id.Stream))
+		w.U64(id.Seq)
+	}
+}
+
+func getIDs(r *wire.Reader) []model.UpdateID {
+	count := r.ListLen()
+	out := make([]model.UpdateID, 0, count)
+	for i := 0; i < count && r.Err() == nil; i++ {
+		out = append(out, model.UpdateID{
+			Stream: model.StreamID(r.U32()),
+			Seq:    r.U64(),
+		})
+	}
+	return out
+}
+
+// encodeIDList renders a tagged identifier list for log contents. AcTinG
+// logs update identifiers in clear — this is precisely the privacy leak
+// PAG eliminates (§II-C).
+func encodeIDList(tag string, ids []model.UpdateID) []byte {
+	w := wire.NewWriter()
+	w.Bytes([]byte(tag))
+	putIDs(w, ids)
+	return w.Finish()
+}
+
+// decodeIDList parses a tagged identifier list from log content.
+func decodeIDList(b []byte) (string, []model.UpdateID, error) {
+	r := wire.NewReader(b)
+	tag := string(r.Bytes())
+	ids := getIDs(r)
+	if err := r.Done(); err != nil {
+		return "", nil, err
+	}
+	return tag, ids, nil
+}
+
+// ---------------------------------------------------------------------------
+// propose / request / data / complaint
+// ---------------------------------------------------------------------------
+
+type proposeMsg struct {
+	Round model.Round
+	From  model.NodeID
+	To    model.NodeID
+	IDs   []model.UpdateID
+	Sig   []byte
+}
+
+func (m *proposeMsg) body(w *wire.Writer) {
+	w.U8(kindPropose)
+	w.U64(uint64(m.Round))
+	w.U32(uint32(m.From))
+	w.U32(uint32(m.To))
+	putIDs(w, m.IDs)
+}
+
+func (m *proposeMsg) SigningBytes() []byte {
+	w := wire.NewWriter()
+	m.body(w)
+	return w.Finish()
+}
+
+func (m *proposeMsg) Marshal() []byte {
+	w := wire.NewWriter()
+	m.body(w)
+	w.Bytes(m.Sig)
+	return w.Finish()
+}
+
+func (m *proposeMsg) setSig(s []byte) { m.Sig = s }
+
+func unmarshalPropose(b []byte) (*proposeMsg, error) {
+	r := wire.NewReader(b)
+	if k := r.U8(); k != kindPropose && r.Err() == nil {
+		return nil, fmt.Errorf("acting: kind %d is not propose", k)
+	}
+	m := &proposeMsg{
+		Round: model.Round(r.U64()),
+		From:  model.NodeID(r.U32()),
+		To:    model.NodeID(r.U32()),
+		IDs:   getIDs(r),
+	}
+	m.Sig = r.Bytes()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type requestMsg struct {
+	Round model.Round
+	From  model.NodeID
+	To    model.NodeID
+	IDs   []model.UpdateID
+	Sig   []byte
+}
+
+func (m *requestMsg) body(w *wire.Writer) {
+	w.U8(kindRequest)
+	w.U64(uint64(m.Round))
+	w.U32(uint32(m.From))
+	w.U32(uint32(m.To))
+	putIDs(w, m.IDs)
+}
+
+func (m *requestMsg) SigningBytes() []byte {
+	w := wire.NewWriter()
+	m.body(w)
+	return w.Finish()
+}
+
+func (m *requestMsg) Marshal() []byte {
+	w := wire.NewWriter()
+	m.body(w)
+	w.Bytes(m.Sig)
+	return w.Finish()
+}
+
+func (m *requestMsg) setSig(s []byte) { m.Sig = s }
+
+func unmarshalRequest(b []byte) (*requestMsg, error) {
+	r := wire.NewReader(b)
+	if k := r.U8(); k != kindRequest && r.Err() == nil {
+		return nil, fmt.Errorf("acting: kind %d is not request", k)
+	}
+	m := &requestMsg{
+		Round: model.Round(r.U64()),
+		From:  model.NodeID(r.U32()),
+		To:    model.NodeID(r.U32()),
+		IDs:   getIDs(r),
+	}
+	m.Sig = r.Bytes()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type dataMsg struct {
+	Round   model.Round
+	From    model.NodeID
+	To      model.NodeID
+	Updates []update.Update
+	Sig     []byte
+}
+
+func (m *dataMsg) body(w *wire.Writer) {
+	w.U8(kindData)
+	w.U64(uint64(m.Round))
+	w.U32(uint32(m.From))
+	w.U32(uint32(m.To))
+	w.U32(uint32(len(m.Updates)))
+	for i := range m.Updates {
+		u := &m.Updates[i]
+		w.U32(uint32(u.ID.Stream))
+		w.U64(u.ID.Seq)
+		w.U64(uint64(u.Deadline))
+		w.Bytes(u.Payload)
+		w.Bytes(u.SrcSig)
+	}
+}
+
+func (m *dataMsg) SigningBytes() []byte {
+	w := wire.NewWriter()
+	m.body(w)
+	return w.Finish()
+}
+
+func (m *dataMsg) Marshal() []byte {
+	w := wire.NewWriter()
+	m.body(w)
+	w.Bytes(m.Sig)
+	return w.Finish()
+}
+
+func (m *dataMsg) setSig(s []byte) { m.Sig = s }
+
+func unmarshalData(b []byte) (*dataMsg, error) {
+	r := wire.NewReader(b)
+	if k := r.U8(); k != kindData && r.Err() == nil {
+		return nil, fmt.Errorf("acting: kind %d is not data", k)
+	}
+	m := &dataMsg{
+		Round: model.Round(r.U64()),
+		From:  model.NodeID(r.U32()),
+		To:    model.NodeID(r.U32()),
+	}
+	count := r.ListLen()
+	for i := 0; i < count && r.Err() == nil; i++ {
+		m.Updates = append(m.Updates, update.Update{
+			ID: model.UpdateID{
+				Stream: model.StreamID(r.U32()),
+				Seq:    r.U64(),
+			},
+			Deadline: model.Round(r.U64()),
+			Payload:  r.Bytes(),
+			SrcSig:   r.Bytes(),
+		})
+	}
+	m.Sig = r.Bytes()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type complaintMsg struct {
+	Round   model.Round
+	From    model.NodeID
+	Against model.NodeID
+	IDs     []model.UpdateID
+	Sig     []byte
+}
+
+func (m *complaintMsg) body(w *wire.Writer) {
+	w.U8(kindComplaint)
+	w.U64(uint64(m.Round))
+	w.U32(uint32(m.From))
+	w.U32(uint32(m.Against))
+	putIDs(w, m.IDs)
+}
+
+func (m *complaintMsg) SigningBytes() []byte {
+	w := wire.NewWriter()
+	m.body(w)
+	return w.Finish()
+}
+
+func (m *complaintMsg) Marshal() []byte {
+	w := wire.NewWriter()
+	m.body(w)
+	w.Bytes(m.Sig)
+	return w.Finish()
+}
+
+func (m *complaintMsg) setSig(s []byte) { m.Sig = s }
+
+func unmarshalComplaint(b []byte) (*complaintMsg, error) {
+	r := wire.NewReader(b)
+	if k := r.U8(); k != kindComplaint && r.Err() == nil {
+		return nil, fmt.Errorf("acting: kind %d is not complaint", k)
+	}
+	m := &complaintMsg{
+		Round:   model.Round(r.U64()),
+		From:    model.NodeID(r.U32()),
+		Against: model.NodeID(r.U32()),
+		IDs:     getIDs(r),
+	}
+	m.Sig = r.Bytes()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// audit request / reply
+// ---------------------------------------------------------------------------
+
+type auditReqMsg struct {
+	Round    model.Round
+	From     model.NodeID
+	SinceSeq uint64
+	Sig      []byte
+}
+
+func (m *auditReqMsg) body(w *wire.Writer) {
+	w.U8(kindAuditRequest)
+	w.U64(uint64(m.Round))
+	w.U32(uint32(m.From))
+	w.U64(m.SinceSeq)
+}
+
+func (m *auditReqMsg) SigningBytes() []byte {
+	w := wire.NewWriter()
+	m.body(w)
+	return w.Finish()
+}
+
+func (m *auditReqMsg) Marshal() []byte {
+	w := wire.NewWriter()
+	m.body(w)
+	w.Bytes(m.Sig)
+	return w.Finish()
+}
+
+func (m *auditReqMsg) setSig(s []byte) { m.Sig = s }
+
+func unmarshalAuditReq(b []byte) (*auditReqMsg, error) {
+	r := wire.NewReader(b)
+	if k := r.U8(); k != kindAuditRequest && r.Err() == nil {
+		return nil, fmt.Errorf("acting: kind %d is not audit request", k)
+	}
+	m := &auditReqMsg{
+		Round:    model.Round(r.U64()),
+		From:     model.NodeID(r.U32()),
+		SinceSeq: r.U64(),
+	}
+	m.Sig = r.Bytes()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type auditReplyMsg struct {
+	Round   model.Round
+	From    model.NodeID
+	Entries []securelog.Entry
+	Sig     []byte
+}
+
+func (m *auditReplyMsg) body(w *wire.Writer) {
+	w.U8(kindAuditReply)
+	w.U64(uint64(m.Round))
+	w.U32(uint32(m.From))
+	w.U32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		w.U64(e.Seq)
+		w.U64(uint64(e.Round))
+		w.U8(uint8(e.Type))
+		w.U32(uint32(e.Peer))
+		w.Bytes(e.Content)
+		w.Raw(e.Hash[:])
+	}
+}
+
+func (m *auditReplyMsg) SigningBytes() []byte {
+	w := wire.NewWriter()
+	m.body(w)
+	return w.Finish()
+}
+
+func (m *auditReplyMsg) Marshal() []byte {
+	w := wire.NewWriter()
+	m.body(w)
+	w.Bytes(m.Sig)
+	return w.Finish()
+}
+
+func (m *auditReplyMsg) setSig(s []byte) { m.Sig = s }
+
+func unmarshalAuditReply(b []byte) (*auditReplyMsg, error) {
+	r := wire.NewReader(b)
+	if k := r.U8(); k != kindAuditReply && r.Err() == nil {
+		return nil, fmt.Errorf("acting: kind %d is not audit reply", k)
+	}
+	m := &auditReplyMsg{
+		Round: model.Round(r.U64()),
+		From:  model.NodeID(r.U32()),
+	}
+	count := r.ListLen()
+	for i := 0; i < count && r.Err() == nil; i++ {
+		e := securelog.Entry{
+			Seq:     r.U64(),
+			Round:   model.Round(r.U64()),
+			Type:    securelog.EntryType(r.U8()),
+			Peer:    model.NodeID(r.U32()),
+			Content: r.Bytes(),
+		}
+		var h [securelog.HashSize]byte
+		for j := 0; j < securelog.HashSize; j++ {
+			h[j] = r.U8()
+		}
+		e.Hash = h
+		m.Entries = append(m.Entries, e)
+	}
+	m.Sig = r.Bytes()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,269 @@
+// Package coalition reproduces the paper's probabilistic privacy study
+// (§VII-E, Fig 10): the proportion of pairwise exchanges a global and
+// active attacker controlling a fraction of the membership can discover,
+// for PAG (3 and 5 monitors), for the AcTinG baseline, and against the
+// theoretical minimum (an exchange is trivially known when one of its two
+// endpoints is corrupted).
+//
+// Attack model for PAG, from §IV-B/§VI-A/§VII-E: the details of an
+// exchange A→B (under B's fresh prime p_A) leak when the coalition can
+// reconstruct p_A. A corrupted monitor holds the remainder product
+// ∏_{k≠j} p_k of some exchange j it was designated for (Fig 6, message 7);
+// dividing out the primes of corrupted predecessors k ∉ {A, j} yields p_A.
+// The coalition therefore needs, in the round of the exchange:
+//
+//	∃ j ≠ A among B's predecessors such that
+//	    the monitor designated for exchange j is corrupted, and
+//	    every predecessor k ∉ {A, j} is corrupted
+//
+// — which is the paper's "all its predecessors except at most two and at
+// least one of the monitors of this node collude". PAG's primes are fresh
+// every round, so the condition must hold in-round; AcTinG's secure logs
+// persist, so an interaction leaks if *any* monitor across the session's
+// audit epochs is corrupted — which is why AcTinG saturates to full
+// discovery around 10% attackers while PAG stays near the minimum.
+package coalition
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Rule selects the PAG leak predicate.
+type Rule int
+
+// Leak predicates.
+const (
+	// RuleDesignated is the faithful model described in the package
+	// comment (designated-monitor remainders, per-round primes).
+	RuleDesignated Rule = iota + 1
+	// RuleAnyMonitor is the coarser bound sometimes quoted from §VI-A:
+	// any corrupted monitor plus all-but-two corrupted predecessors.
+	RuleAnyMonitor
+)
+
+// Config parameterises the study.
+type Config struct {
+	// Fanout is the number of predecessors per node (f).
+	Fanout int
+	// Monitors is the number of monitors per node (f_m).
+	Monitors int
+	// Epochs is the number of monitor re-assignments an AcTinG session
+	// spans (each audit epoch exposes the full retroactive log).
+	Epochs int
+	// Trials is the number of Monte-Carlo interaction samples per point.
+	Trials int
+	// Seed fixes the Monte-Carlo randomness.
+	Seed int64
+	// Rule selects the PAG leak predicate (RuleDesignated if zero).
+	Rule Rule
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Fanout == 0 {
+		out.Fanout = 3
+	}
+	if out.Monitors == 0 {
+		out.Monitors = out.Fanout
+	}
+	if out.Epochs == 0 {
+		out.Epochs = 10
+	}
+	if out.Trials == 0 {
+		out.Trials = 20000
+	}
+	if out.Rule == 0 {
+		out.Rule = RuleDesignated
+	}
+	return out
+}
+
+// Point is one x-position of Fig 10.
+type Point struct {
+	AttackerFraction float64
+	PAG              float64 // proportion of interactions discovered
+	AcTinG           float64
+	Minimum          float64
+}
+
+// Sweep evaluates the discovery proportions at each attacker fraction.
+func Sweep(cfg Config, fractions []float64) []Point {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	out := make([]Point, 0, len(fractions))
+	for _, q := range fractions {
+		out = append(out, Point{
+			AttackerFraction: q,
+			PAG:              MonteCarloPAG(c, q, rng),
+			AcTinG:           MonteCarloAcTinG(c, q, rng),
+			Minimum:          MinimumDiscovery(q),
+		})
+	}
+	return out
+}
+
+// MinimumDiscovery is the plain-black curve of Fig 10: the probability that
+// at least one endpoint of the exchange is corrupted.
+func MinimumDiscovery(q float64) float64 {
+	return 1 - (1-q)*(1-q)
+}
+
+// MonteCarloPAG estimates the PAG discovery proportion at attacker
+// fraction q by sampling random exchanges. Membership positions are drawn
+// independently (nodes are assigned predecessors, successors and monitors
+// uniformly at random, §VII-E).
+func MonteCarloPAG(cfg Config, q float64, rng *rand.Rand) float64 {
+	c := cfg.withDefaults()
+	hit := 0
+	for t := 0; t < c.Trials; t++ {
+		// Endpoints.
+		if rng.Float64() < q || rng.Float64() < q {
+			hit++
+			continue
+		}
+		// B's other predecessors (A is honest here) and monitors.
+		predCorrupt := make([]bool, c.Fanout) // index 0 is A: honest
+		for i := 1; i < c.Fanout; i++ {
+			predCorrupt[i] = rng.Float64() < q
+		}
+		monCorrupt := make([]bool, c.Monitors)
+		for i := range monCorrupt {
+			monCorrupt[i] = rng.Float64() < q
+		}
+		if pagLeak(c, predCorrupt, monCorrupt, rng) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(c.Trials)
+}
+
+// pagLeak evaluates the leak predicate for one sampled exchange.
+func pagLeak(c Config, predCorrupt, monCorrupt []bool, rng *rand.Rand) bool {
+	switch c.Rule {
+	case RuleAnyMonitor:
+		anyMon := false
+		for _, m := range monCorrupt {
+			if m {
+				anyMon = true
+				break
+			}
+		}
+		if !anyMon {
+			return false
+		}
+		honest := 0
+		for _, p := range predCorrupt {
+			if !p {
+				honest++
+			}
+		}
+		// All predecessors except at most two (A plus one other).
+		return honest <= 2
+	default: // RuleDesignated
+		// For each pivot exchange j ≠ A: the designated monitor of j
+		// must be corrupted and every predecessor k ∉ {A, j} must be
+		// corrupted (their primes divide the remainder out).
+		for j := 1; j < len(predCorrupt); j++ {
+			designated := rng.Intn(len(monCorrupt))
+			if !monCorrupt[designated] {
+				continue
+			}
+			ok := true
+			for k := 1; k < len(predCorrupt); k++ {
+				if k != j && !predCorrupt[k] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// MonteCarloAcTinG estimates the AcTinG discovery proportion: the logs of
+// both endpoints persist, so the interaction leaks if any monitor of
+// either endpoint across the session's epochs is corrupted.
+func MonteCarloAcTinG(cfg Config, q float64, rng *rand.Rand) float64 {
+	c := cfg.withDefaults()
+	hit := 0
+	draws := 2 * c.Monitors * c.Epochs
+	for t := 0; t < c.Trials; t++ {
+		if rng.Float64() < q || rng.Float64() < q {
+			hit++
+			continue
+		}
+		for i := 0; i < draws; i++ {
+			if rng.Float64() < q {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(c.Trials)
+}
+
+// ClosedFormPAG is the analytic counterpart of MonteCarloPAG under
+// RuleDesignated (used to cross-check the Monte-Carlo implementation).
+func ClosedFormPAG(cfg Config, q float64) float64 {
+	c := cfg.withDefaults()
+	min := MinimumDiscovery(q)
+	f := c.Fanout
+	// P(leak | honest endpoints): union over f-1 pivots of
+	// (designated monitor corrupted) ∧ (f-2 specific preds corrupted).
+	// Pivots share predecessor requirements; inclusion-exclusion over
+	// pivot pairs: all pivots need ≥ f-2 of the f-1 others corrupted.
+	// Exact via enumeration of other-pred corruption patterns:
+	leak := 0.0
+	others := f - 1
+	for mask := 0; mask < 1<<others; mask++ {
+		pPat := 1.0
+		for i := 0; i < others; i++ {
+			if mask&(1<<i) != 0 {
+				pPat *= q
+			} else {
+				pPat *= 1 - q
+			}
+		}
+		// Pivot j (0-based among others) works if all other others
+		// are corrupted; monitor draws are independent per pivot.
+		pNoPivot := 1.0
+		for j := 0; j < others; j++ {
+			ok := true
+			for k := 0; k < others; k++ {
+				if k != j && mask&(1<<k) == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				pNoPivot *= 1 - q // designated monitor honest
+			}
+		}
+		leak += pPat * (1 - pNoPivot)
+	}
+	return min + (1-min)*leak
+}
+
+// ClosedFormAcTinG is the analytic counterpart of MonteCarloAcTinG.
+func ClosedFormAcTinG(cfg Config, q float64) float64 {
+	c := cfg.withDefaults()
+	min := MinimumDiscovery(q)
+	draws := float64(2 * c.Monitors * c.Epochs)
+	return min + (1-min)*(1-math.Pow(1-q, draws))
+}
+
+// FormatSweep renders Fig 10 rows.
+func FormatSweep(points []Point) string {
+	out := fmt.Sprintf("%-12s %-10s %-10s %-10s\n",
+		"attackers(%)", "AcTinG(%)", "PAG(%)", "minimum(%)")
+	for _, p := range points {
+		out += fmt.Sprintf("%-12.0f %-10.1f %-10.1f %-10.1f\n",
+			p.AttackerFraction*100, p.AcTinG*100, p.PAG*100, p.Minimum*100)
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package coalition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMinimumDiscovery(t *testing.T) {
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {1, 1}, {0.5, 0.75}, {0.1, 0.19},
+	}
+	for _, c := range cases {
+		if got := MinimumDiscovery(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("MinimumDiscovery(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestMonteCarloMatchesClosedFormPAG(t *testing.T) {
+	cfg := Config{Fanout: 3, Monitors: 3, Trials: 200000, Seed: 1}
+	rng := rand.New(rand.NewSource(2))
+	for _, q := range []float64{0.05, 0.2, 0.5, 0.8} {
+		mc := MonteCarloPAG(cfg, q, rng)
+		cf := ClosedFormPAG(cfg, q)
+		if math.Abs(mc-cf) > 0.01 {
+			t.Errorf("q=%v: MC %v vs closed form %v", q, mc, cf)
+		}
+	}
+}
+
+func TestMonteCarloMatchesClosedFormAcTinG(t *testing.T) {
+	cfg := Config{Fanout: 3, Monitors: 3, Epochs: 10, Trials: 200000, Seed: 3}
+	rng := rand.New(rand.NewSource(4))
+	for _, q := range []float64{0.02, 0.1, 0.3} {
+		mc := MonteCarloAcTinG(cfg, q, rng)
+		cf := ClosedFormAcTinG(cfg, q)
+		if math.Abs(mc-cf) > 0.01 {
+			t.Errorf("q=%v: MC %v vs closed form %v", q, mc, cf)
+		}
+	}
+}
+
+// TestFig10Shape verifies the paper's qualitative claims:
+//   - AcTinG discovers (nearly) all interactions around 10% attackers;
+//   - PAG stays close to the theoretical minimum;
+//   - five monitors are closer to the minimum than three ("increasing the
+//     number of monitors ... makes the privacy guarantees of PAG close to
+//     ideal").
+func TestFig10Shape(t *testing.T) {
+	fracs := []float64{0.1, 0.3}
+	pag3 := Sweep(Config{Fanout: 3, Monitors: 3, Trials: 100000, Seed: 5}, fracs)
+	pag5 := Sweep(Config{Fanout: 5, Monitors: 5, Trials: 100000, Seed: 6}, fracs)
+
+	// AcTinG ≈ 100% at 10% attackers.
+	if pag3[0].AcTinG < 0.97 {
+		t.Errorf("AcTinG at 10%% = %v, want ≈ 1", pag3[0].AcTinG)
+	}
+	// PAG-3 near the minimum at 10%.
+	if pag3[0].PAG > pag3[0].Minimum+0.05 {
+		t.Errorf("PAG-3 at 10%% = %v, minimum %v", pag3[0].PAG, pag3[0].Minimum)
+	}
+	// PAG-5 at 30% attackers leaks no more than PAG-3.
+	if pag5[1].PAG > pag3[1].PAG+0.01 {
+		t.Errorf("PAG-5 (%v) leaks more than PAG-3 (%v) at 30%%",
+			pag5[1].PAG, pag3[1].PAG)
+	}
+	// Everything is bounded below by the minimum.
+	for _, p := range pag3 {
+		if p.PAG < p.Minimum-0.01 || p.AcTinG < p.Minimum-0.01 {
+			t.Errorf("curve fell below the theoretical minimum: %+v", p)
+		}
+	}
+}
+
+func TestMonotoneInAttackerFraction(t *testing.T) {
+	cfg := Config{Fanout: 3, Monitors: 3, Trials: 60000, Seed: 7}
+	fracs := []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 1}
+	pts := Sweep(cfg, fracs)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PAG+0.02 < pts[i-1].PAG {
+			t.Errorf("PAG not monotone at %v", pts[i].AttackerFraction)
+		}
+		if pts[i].AcTinG+0.02 < pts[i-1].AcTinG {
+			t.Errorf("AcTinG not monotone at %v", pts[i].AttackerFraction)
+		}
+	}
+	// Extremes.
+	if pts[0].PAG != 0 || pts[0].AcTinG != 0 {
+		t.Error("no attackers should discover nothing")
+	}
+	if pts[len(pts)-1].PAG < 0.999 {
+		t.Error("full corruption should discover everything")
+	}
+}
+
+func TestRuleAnyMonitorIsUpperBound(t *testing.T) {
+	rngA := rand.New(rand.NewSource(8))
+	rngB := rand.New(rand.NewSource(8))
+	des := Config{Fanout: 3, Monitors: 3, Trials: 100000, Seed: 8, Rule: RuleDesignated}
+	any := Config{Fanout: 3, Monitors: 3, Trials: 100000, Seed: 8, Rule: RuleAnyMonitor}
+	for _, q := range []float64{0.1, 0.3, 0.5} {
+		d := MonteCarloPAG(des, q, rngA)
+		a := MonteCarloPAG(any, q, rngB)
+		if d > a+0.01 {
+			t.Errorf("q=%v: designated rule (%v) above any-monitor bound (%v)", q, d, a)
+		}
+	}
+}
+
+func TestFormatSweep(t *testing.T) {
+	pts := []Point{{AttackerFraction: 0.1, PAG: 0.2, AcTinG: 0.9, Minimum: 0.19}}
+	s := FormatSweep(pts)
+	if s == "" || len(s) < 20 {
+		t.Fatal("format too short")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}
+	c := cfg.withDefaults()
+	if c.Fanout != 3 || c.Monitors != 3 || c.Epochs != 10 || c.Trials == 0 || c.Rule != RuleDesignated {
+		t.Fatalf("defaults: %+v", c)
+	}
+}

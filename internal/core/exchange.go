@@ -1,0 +1,468 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/hhash"
+	"repro/internal/model"
+	"repro/internal/transport"
+	"repro/internal/update"
+	"repro/internal/wire"
+)
+
+// This file implements the Fig 5 exchange: the five messages a predecessor
+// A and a successor B trade during one round, plus the sender-side
+// accusation trigger and the probe/exhibit answers of §IV-A.
+
+// ---------------------------------------------------------------------------
+// Receiver side: messages 1 → 2 (this node is B)
+// ---------------------------------------------------------------------------
+
+func (n *Node) onKeyRequest(msg transport.Message) {
+	if n.cfg.Behavior.RefuseReceive {
+		return
+	}
+	req, err := wire.UnmarshalKeyRequest(msg.Payload)
+	if err != nil || req.From != msg.From || req.To != n.id {
+		n.report(Verdict{Round: n.round, Kind: VerdictBadMessage,
+			Accused: msg.From, Detail: "malformed KeyRequest"})
+		return
+	}
+	if req.Round != n.round {
+		return // phase skew: dropped, the sender's monitors investigate
+	}
+	if !n.verify(req.From, req.SigningBytes(), req.Sig, "KeyRequest") {
+		return
+	}
+
+	ex, ok := n.recvCur.exchanges[req.From]
+	if !ok {
+		prime, err := hhash.GeneratePrimeKey(n.rnd, n.cfg.PrimeBits)
+		if err != nil {
+			return
+		}
+		ex = &recvExchange{prime: prime}
+		n.recvCur.exchanges[req.From] = ex
+		n.recvCur.order = append(n.recvCur.order, req.From)
+	}
+
+	resp := &wire.KeyResponse{
+		Round: n.round,
+		From:  n.id,
+		To:    req.From,
+		Prime: ex.prime.Bytes(),
+	}
+	// Buffermap: hashes of the last-window ownership under the fresh
+	// prime (§V-D) — the requester matches without revealing identifiers.
+	if w := n.cfg.BuffermapWindow; w > 0 {
+		for _, e := range n.store.OwnedInWindow(n.round, w) {
+			h := n.hasher.Hash(ex.prime, e.Update.CanonicalBytes())
+			enc, err := n.cfg.HashParams.EncodeValue(h)
+			if err != nil {
+				continue
+			}
+			resp.BufferMap = append(resp.BufferMap, enc)
+		}
+	}
+	n.signEncryptSend(req.From, resp, wire.KindKeyResponse)
+}
+
+// signEncryptSend signs m, encrypts the whole marshalled message to the
+// recipient ({⟨m⟩_X}_pk(to), the paper's construction for messages 2, 3
+// and 7) and transmits it under the given kind.
+func (n *Node) signEncryptSend(to model.NodeID, m interface {
+	Kind() uint8
+	SigningBytes() []byte
+	Marshal() []byte
+}, kind uint8) {
+	sig, err := n.cfg.Identity.Sign(m.SigningBytes())
+	if err != nil {
+		return
+	}
+	setSig(m, sig)
+	cipher, err := n.encryptTo(to, m.Marshal())
+	if err != nil {
+		return
+	}
+	_ = n.cfg.Endpoint.Send(to, kind, cipher)
+}
+
+// ---------------------------------------------------------------------------
+// Sender side: messages 2 → 3 + 4 (this node is A)
+// ---------------------------------------------------------------------------
+
+func (n *Node) onKeyResponse(msg transport.Message) {
+	plain, err := n.cfg.Identity.Decrypt(msg.Payload)
+	if err != nil {
+		n.report(Verdict{Round: n.round, Kind: VerdictBadMessage,
+			Accused: msg.From, Detail: "undecryptable KeyResponse"})
+		return
+	}
+	resp, err := wire.UnmarshalKeyResponse(plain)
+	if err != nil || resp.From != msg.From || resp.To != n.id {
+		n.report(Verdict{Round: n.round, Kind: VerdictBadMessage,
+			Accused: msg.From, Detail: "malformed KeyResponse"})
+		return
+	}
+	if resp.Round != n.round {
+		return // stale response
+	}
+	if !n.verify(resp.From, resp.SigningBytes(), resp.Sig, "KeyResponse") {
+		return
+	}
+	ex := n.sendCur.perSucc[resp.From]
+	if ex == nil || ex.served || ex.skipped {
+		return
+	}
+	prime, err := hhash.KeyFromBytes(resp.Prime)
+	if err != nil {
+		n.report(Verdict{Round: n.round, Kind: VerdictBadMessage,
+			Accused: msg.From, Detail: "invalid prime in KeyResponse"})
+		return
+	}
+	n.serve(resp.From, ex, prime, update.NewBufferMap(resp.BufferMap))
+}
+
+// serve builds and sends messages 3 (Serve) and 4 (Attestation) for one
+// successor, honouring behaviour-injected deviations.
+func (n *Node) serve(succ model.NodeID, ex *sendExchange, prime hhash.Key, bm update.BufferMap) {
+	items := n.sendCur.items
+	// Selfish deviation: silently drop the tail of the forward set. The
+	// attestation is computed over what is actually sent, so the receiver
+	// verifies it fine — only the monitors' obligation check can catch
+	// the deviation (§VI-B).
+	if d := n.cfg.Behavior.DropUpdates; d > 0 {
+		if d >= len(items) {
+			items = nil
+		} else {
+			items = items[:len(items)-d]
+		}
+	}
+
+	srv := &wire.Serve{
+		Round: n.round,
+		From:  n.id,
+		To:    succ,
+		KPrev: n.sendCur.kPrev.Bytes(),
+	}
+	// Partition into payloads vs refs via the buffermap, and accumulate
+	// the attestation products split by expiration (§V-D).
+	expProd := n.hasher.Identity()
+	fwdProd := n.hasher.Identity()
+	for _, it := range items {
+		canon := it.upd.CanonicalBytes()
+		owned := false
+		if bm.Len() > 0 {
+			h := n.hasher.Hash(prime, canon)
+			if enc, err := n.cfg.HashParams.EncodeValue(h); err == nil {
+				owned = bm.Contains(enc)
+			}
+		}
+		if owned {
+			srv.Refs = append(srv.Refs, wire.ServedRef{ID: it.upd.ID, Count: it.count})
+			n.stats.RefsSent++
+		} else {
+			srv.Full = append(srv.Full, wire.ServedUpdate{Update: it.upd, Count: it.count})
+			n.stats.PayloadsSent++
+		}
+		v := n.hasher.Embed(canon)
+		if it.count != 1 {
+			v = n.hasher.Lift(v, mustCountKey(it.count))
+		}
+		if it.upd.ExpiresNextRound(n.round) {
+			expProd = n.hasher.Combine(expProd, v)
+		} else {
+			fwdProd = n.hasher.Combine(fwdProd, v)
+		}
+	}
+
+	att := &wire.Attestation{Round: n.round, From: n.id, To: succ}
+	hExp := n.hasher.Lift(expProd, prime)
+	hFwd := n.hasher.Lift(fwdProd, prime)
+	var err error
+	if att.HExpiring, err = n.cfg.HashParams.EncodeValue(hExp); err != nil {
+		return
+	}
+	if att.HForwardable, err = n.cfg.HashParams.EncodeValue(hFwd); err != nil {
+		return
+	}
+
+	// Send the Serve encrypted, then the Attestation in the clear (it is
+	// meaningless without the prime); record both for accusations.
+	sig, err := n.cfg.Identity.Sign(srv.SigningBytes())
+	if err != nil {
+		return
+	}
+	srv.Sig = sig
+	cipher, err := n.encryptTo(succ, srv.Marshal())
+	if err != nil {
+		return
+	}
+	attSig, err := n.cfg.Identity.Sign(att.SigningBytes())
+	if err != nil {
+		return
+	}
+	att.Sig = attSig
+
+	_ = n.cfg.Endpoint.Send(succ, wire.KindServe, cipher)
+	_ = n.cfg.Endpoint.Send(succ, wire.KindAttestation, att.Marshal())
+
+	ex.served = true
+	ex.serveCipher = cipher
+	ex.attBytes = att.Marshal()
+}
+
+// ---------------------------------------------------------------------------
+// Receiver side: messages 3 + 4 → 5 (this node is B)
+// ---------------------------------------------------------------------------
+
+func (n *Node) onServe(msg transport.Message) {
+	if n.cfg.Behavior.RefuseReceive {
+		return
+	}
+	plain, err := n.cfg.Identity.Decrypt(msg.Payload)
+	if err != nil {
+		n.report(Verdict{Round: n.round, Kind: VerdictBadMessage,
+			Accused: msg.From, Detail: "undecryptable Serve"})
+		return
+	}
+	srv, err := wire.UnmarshalServe(plain)
+	if err != nil || srv.From != msg.From || srv.To != n.id {
+		n.report(Verdict{Round: n.round, Kind: VerdictBadMessage,
+			Accused: msg.From, Detail: "malformed Serve"})
+		return
+	}
+	if srv.Round != n.round {
+		return // stale serve
+	}
+	if !n.verify(srv.From, srv.SigningBytes(), srv.Sig, "Serve") {
+		return
+	}
+	n.processServe(srv)
+}
+
+// processServe accepts a verified Serve (from the direct path or a monitor
+// probe) and, once the attestation is present, acknowledges.
+func (n *Node) processServe(srv *wire.Serve) {
+	ex, ok := n.recvCur.exchanges[srv.From]
+	if !ok {
+		// A serve without a prior KeyRequest→KeyResponse handshake can
+		// only happen through the probe path; accept it with a zero
+		// prime (attestation verification is skipped, the exchange
+		// cannot enter the obligation).
+		ex = &recvExchange{}
+		n.recvCur.exchanges[srv.From] = ex
+	}
+	if ex.expEmbed != nil {
+		return // duplicate serve for this exchange
+	}
+
+	kPrevA, err := hhash.KeyFromBytes(srv.KPrev)
+	if err != nil {
+		n.report(Verdict{Round: n.round, Kind: VerdictBadMessage,
+			Accused: srv.From, Detail: "invalid K(R-1) in Serve"})
+		return
+	}
+
+	expProd := n.hasher.Identity()
+	fwdProd := n.hasher.Identity()
+	accept := func(u update.Update, count uint64) {
+		fwd := !u.ExpiresNextRound(n.round)
+		if n.store.Add(u, n.round, count, fwd) {
+			n.stats.UpdatesReceived++
+		} else {
+			n.stats.DuplicateReceptions += count
+		}
+		v := n.hasher.Embed(u.CanonicalBytes())
+		if count != 1 {
+			v = n.hasher.Lift(v, mustCountKey(count))
+		}
+		if fwd {
+			fwdProd = n.hasher.Combine(fwdProd, v)
+			it, ok := n.pendingNext[u.ID]
+			if !ok {
+				n.pendingNext[u.ID] = &pendingItem{upd: u, count: count}
+			} else {
+				it.count += count
+			}
+		} else {
+			expProd = n.hasher.Combine(expProd, v)
+		}
+	}
+
+	for _, su := range srv.Full {
+		if su.Update.Expired(n.round) {
+			n.report(Verdict{Round: n.round, Kind: VerdictBadMessage,
+				Accused: srv.From, Detail: fmt.Sprintf("expired update %v served", su.Update.ID)})
+			return
+		}
+		// "Updates are propagated along with their signature so that
+		// they can be verified by the nodes upon reception" (§III).
+		src, ok := n.streamSource(su.Update.ID.Stream)
+		if !ok {
+			n.report(Verdict{Round: n.round, Kind: VerdictBadMessage,
+				Accused: srv.From, Detail: "update for unknown stream"})
+			return
+		}
+		if !n.verify(src, su.Update.CanonicalBytes(), su.Update.SrcSig, "update source signature") {
+			return
+		}
+		accept(su.Update, su.Count)
+	}
+	for _, ref := range srv.Refs {
+		e := n.store.Get(ref.ID)
+		if e == nil {
+			n.report(Verdict{Round: n.round, Kind: VerdictBadMessage,
+				Accused: srv.From, Detail: fmt.Sprintf("ref to unowned update %v", ref.ID)})
+			return
+		}
+		accept(e.Update, ref.Count)
+	}
+
+	ex.expEmbed = expProd
+	ex.fwdEmbed = fwdProd
+	ex.kPrevA = kPrevA
+	n.maybeAck(srv.From, ex)
+}
+
+func (n *Node) onAttestation(msg transport.Message) {
+	if n.cfg.Behavior.RefuseReceive {
+		return
+	}
+	att, err := wire.UnmarshalAttestation(msg.Payload)
+	if err != nil || att.From != msg.From || att.To != n.id {
+		n.report(Verdict{Round: n.round, Kind: VerdictBadMessage,
+			Accused: msg.From, Detail: "malformed Attestation"})
+		return
+	}
+	if att.Round != n.round {
+		return // stale attestation
+	}
+	if !n.verify(att.From, att.SigningBytes(), att.Sig, "Attestation") {
+		return
+	}
+	ex, ok := n.recvCur.exchanges[att.From]
+	if !ok || ex.attBytes != nil {
+		return
+	}
+	ex.attBytes = msg.Payload
+	n.maybeAck(att.From, ex)
+}
+
+// maybeAck fires once both the Serve and the Attestation of an exchange
+// have arrived: it verifies the attestation against the served content
+// ("The attestation that node A sends can be verified by node B", §VI-B)
+// and sends the acknowledgement under K(R-1,A).
+func (n *Node) maybeAck(pred model.NodeID, ex *recvExchange) {
+	if ex.expEmbed == nil || ex.attBytes == nil || ex.ackBytes != nil {
+		return
+	}
+	att, err := wire.UnmarshalAttestation(ex.attBytes)
+	if err != nil {
+		return
+	}
+	if !ex.prime.IsZero() {
+		wantExp := n.hasher.Lift(ex.expEmbed, ex.prime)
+		wantFwd := n.hasher.Lift(ex.fwdEmbed, ex.prime)
+		gotExp, errE := n.cfg.HashParams.DecodeValue(att.HExpiring)
+		gotFwd, errF := n.cfg.HashParams.DecodeValue(att.HForwardable)
+		if errE != nil || errF != nil || wantExp.Cmp(gotExp) != 0 || wantFwd.Cmp(gotFwd) != 0 {
+			// A mis-attested: refusing to acknowledge routes the
+			// conflict through A's monitors, and the signed
+			// attestation is the proof.
+			n.report(Verdict{Round: n.round, Kind: VerdictBadAttestation,
+				Accused: pred, Detail: "attestation does not match served content"})
+			return
+		}
+	}
+	if n.cfg.Behavior.NoAck {
+		return
+	}
+	n.sendAck(pred, ex)
+}
+
+// sendAck builds message 5 and remembers it for the monitor report.
+func (n *Node) sendAck(pred model.NodeID, ex *recvExchange) {
+	full := n.hasher.Combine(ex.expEmbed, ex.fwdEmbed)
+	h := n.hasher.Lift(full, ex.kPrevA)
+	enc, err := n.cfg.HashParams.EncodeValue(h)
+	if err != nil {
+		return
+	}
+	ack := &wire.Ack{Round: n.round, From: n.id, To: pred, H: enc}
+	sig, err := n.cfg.Identity.Sign(ack.SigningBytes())
+	if err != nil {
+		return
+	}
+	ack.Sig = sig
+	ex.ackBytes = ack.Marshal()
+	_ = n.cfg.Endpoint.Send(pred, wire.KindAck, ex.ackBytes)
+}
+
+// ---------------------------------------------------------------------------
+// Sender side: message 5 (this node is A)
+// ---------------------------------------------------------------------------
+
+func (n *Node) onAck(msg transport.Message) {
+	ack, err := wire.UnmarshalAck(msg.Payload)
+	if err != nil || ack.From != msg.From || ack.To != n.id {
+		n.report(Verdict{Round: n.round, Kind: VerdictBadMessage,
+			Accused: msg.From, Detail: "malformed Ack"})
+		return
+	}
+	if ack.Round != n.round {
+		return // stale ack
+	}
+	if !n.verify(ack.From, ack.SigningBytes(), ack.Sig, "Ack") {
+		return
+	}
+	ex := n.sendCur.perSucc[ack.From]
+	if ex == nil || !ex.served || ex.acked {
+		return
+	}
+	h, err := n.cfg.HashParams.DecodeValue(ack.H)
+	if err != nil {
+		return
+	}
+	if n.expectedAckFor(ex).Cmp(h) != 0 {
+		// Treat a wrong acknowledgement as a missing one: the
+		// accusation path re-runs the exchange under monitor scrutiny.
+		return
+	}
+	ex.acked = true
+	ex.ackBytes = msg.Payload
+}
+
+// expectedAckFor returns the acknowledgement hash this node expects from a
+// successor — normally the round's precomputed value, recomputed only when
+// a deviation trimmed the served set.
+func (n *Node) expectedAckFor(ex *sendExchange) *big.Int {
+	if n.cfg.Behavior.DropUpdates == 0 {
+		return n.sendCur.expectedAckH
+	}
+	items := n.sendCur.items
+	if d := n.cfg.Behavior.DropUpdates; d >= len(items) {
+		items = nil
+	} else {
+		items = items[:len(items)-d]
+	}
+	prod := n.hasher.Identity()
+	for _, it := range items {
+		v := n.hasher.Embed(it.upd.CanonicalBytes())
+		if it.count != 1 {
+			v = n.hasher.Lift(v, mustCountKey(it.count))
+		}
+		prod = n.hasher.Combine(prod, v)
+	}
+	return n.hasher.Lift(prod, n.sendCur.kPrev)
+}
+
+// streamSource maps a stream to its source node.
+func (n *Node) streamSource(s model.StreamID) (model.NodeID, bool) {
+	idx := int(s)
+	if idx < 0 || idx >= len(n.cfg.Sources) {
+		return model.NoNode, false
+	}
+	return n.cfg.Sources[idx], true
+}

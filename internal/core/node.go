@@ -1,0 +1,519 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+	"sync"
+
+	"repro/internal/hhash"
+	"repro/internal/model"
+	"repro/internal/pki"
+	"repro/internal/transport"
+	"repro/internal/update"
+	"repro/internal/wire"
+)
+
+// pendingItem is one entry of the multiset a node must forward next round:
+// the forwardable updates it received this round, with their reception
+// multiplicities (§V-D).
+type pendingItem struct {
+	upd   update.Update
+	count uint64
+}
+
+// recvExchange is the receiver-side state of one predecessor exchange
+// during the current round (this node as B of Fig 5).
+type recvExchange struct {
+	prime hhash.Key
+	// expEmbed/fwdEmbed are the embedded products (u^c mod M) of the
+	// expiring and forwardable served lists; nil until the Serve arrives.
+	expEmbed *big.Int
+	fwdEmbed *big.Int
+	// kPrevA is K(R-1,A) from the Serve: the acknowledgement key.
+	kPrevA hhash.Key
+	// attBytes is the predecessor's marshalled signed Attestation.
+	attBytes []byte
+	// ackBytes is this node's marshalled signed Ack (message 5 / copy 6).
+	ackBytes []byte
+	// reported marks that messages 6–7 went to the designated monitor.
+	reported bool
+}
+
+// recvRound aggregates receiver-side state for one round.
+type recvRound struct {
+	exchanges map[model.NodeID]*recvExchange
+	// order preserves prime issuance order for deterministic remainders.
+	order []model.NodeID
+}
+
+func newRecvRound() *recvRound {
+	return &recvRound{exchanges: make(map[model.NodeID]*recvExchange)}
+}
+
+// productKey returns K(R,B): the product of every prime issued this round.
+func (rr *recvRound) productKey() hhash.Key {
+	k := hhash.OneKey()
+	for _, pred := range rr.order {
+		k = k.Mul(rr.exchanges[pred].prime)
+	}
+	return k
+}
+
+// remainderFor returns ∏_{k≠j} p_k for the given predecessor.
+func (rr *recvRound) remainderFor(pred model.NodeID) hhash.Key {
+	k := hhash.OneKey()
+	for _, p := range rr.order {
+		if p != pred {
+			k = k.Mul(rr.exchanges[p].prime)
+		}
+	}
+	return k
+}
+
+// sendExchange is the sender-side state of one successor exchange (this
+// node as A of Fig 5).
+type sendExchange struct {
+	served      bool
+	acked       bool
+	ackBytes    []byte
+	serveCipher []byte
+	attBytes    []byte
+	accused     bool
+	skipped     bool // behaviour-injected skip
+}
+
+// sendRound aggregates sender-side state for one round.
+type sendRound struct {
+	items []pendingItem
+	// kPrev is K(R-1, self), the key successors acknowledge under.
+	kPrev hhash.Key
+	// expectedAckH is H(∏ items u^c)_(kPrev,M); every honest successor's
+	// Ack must carry exactly this value.
+	expectedAckH *big.Int
+	perSucc      map[model.NodeID]*sendExchange
+}
+
+// Node is one PAG participant. All entry points are serialised by an
+// internal mutex: the simulation engine is single-threaded, but the TCP
+// deployment delivers messages from reader goroutines.
+type Node struct {
+	mu     sync.Mutex
+	cfg    Config
+	id     model.NodeID
+	hasher *hhash.Hasher
+	hops   hhash.Counter
+	rnd    io.Reader
+
+	store *update.Store
+	round model.Round
+
+	// pendingNext accumulates the forwardable receptions of the current
+	// round; it becomes sendRound.items at the next BeginRound.
+	pendingNext map[model.UpdateID]*pendingItem
+	// kNext is K(R, self), promoted to kPrev at the next BeginRound.
+	recvCur *recvRound
+	sendCur *sendRound
+	// kPrev is carried across rounds.
+	kPrev hhash.Key
+
+	// injected holds source-minted updates awaiting the next round.
+	injected []update.Update
+
+	// deferred buffers next-round messages that arrived early (phase
+	// skew is normal over a real network) for replay at BeginRound.
+	deferred []transport.Message
+
+	mon *monitorState
+
+	stats Stats
+}
+
+// NewNode builds a PAG node from a validated Config.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PrimeBits == 0 {
+		cfg.PrimeBits = DefaultPrimeBits
+	}
+	switch {
+	case cfg.BuffermapWindow == 0:
+		cfg.BuffermapWindow = DefaultBuffermapWindow
+	case cfg.BuffermapWindow < 0:
+		cfg.BuffermapWindow = 0 // disabled (ablation)
+	}
+	rnd := cfg.Rand
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	n := &Node{
+		cfg:         cfg,
+		id:          cfg.ID,
+		rnd:         rnd,
+		store:       update.NewStore(),
+		pendingNext: make(map[model.UpdateID]*pendingItem),
+		kPrev:       hhash.OneKey(),
+	}
+	n.hasher = hhash.NewHasher(cfg.HashParams, &n.hops)
+	n.mon = newMonitorState(n)
+	return n, nil
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() model.NodeID { return n.id }
+
+// Round returns the node's current round.
+func (n *Node) Round() model.Round {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.round
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.stats
+	s.HashOps = n.hops.HashOps()
+	s.SigOps = n.cfg.Identity.Counter().Signs()
+	return s
+}
+
+// Store exposes the node's update store (read-mostly; used by the
+// application layer and tests).
+func (n *Node) Store() *update.Store { return n.store }
+
+// InjectUpdates queues source-minted updates for dissemination at the next
+// BeginRound. Only meaningful on source nodes.
+func (n *Node) InjectUpdates(us []update.Update) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.injected = append(n.injected, us...)
+}
+
+func (n *Node) isSource(id model.NodeID) bool {
+	for _, s := range n.cfg.Sources {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) report(v Verdict) {
+	if n.cfg.Verdicts != nil {
+		v.Reporter = n.id
+		n.cfg.Verdicts(v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Round phases
+// ---------------------------------------------------------------------------
+
+// BeginRound rotates the per-round state and opens the exchanges of round r
+// by sending a KeyRequest to every successor (Fig 5, message 1). A node
+// contacts all its successors every round — even with an empty forward set
+// — which is what makes R1/R2 verifiable.
+func (n *Node) BeginRound(r model.Round) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.round = r
+
+	// Promote last round's receptions into this round's forward set.
+	items := make([]pendingItem, 0, len(n.pendingNext))
+	for _, it := range n.pendingNext {
+		items = append(items, *it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].upd.ID.Less(items[j].upd.ID) })
+	n.pendingNext = make(map[model.UpdateID]*pendingItem)
+
+	// Source-minted updates enter the forward set with multiplicity 1,
+	// under a fresh private key so acknowledgements stay unlinkable.
+	if len(n.injected) > 0 {
+		for _, u := range n.injected {
+			items = append(items, pendingItem{upd: u, count: 1})
+			n.store.Add(u, r, 1, true)
+		}
+		n.injected = nil
+		if fresh, err := hhash.GeneratePrimeKey(n.rnd, n.cfg.PrimeBits); err == nil {
+			n.kPrev = n.kPrev.Mul(fresh)
+		}
+	}
+
+	send := &sendRound{
+		items:   items,
+		kPrev:   n.kPrev,
+		perSucc: make(map[model.NodeID]*sendExchange),
+	}
+	// Precompute the expected acknowledgement hash (one modexp).
+	prod := n.hasher.Identity()
+	for _, it := range items {
+		v := n.hasher.Embed(it.upd.CanonicalBytes())
+		if it.count != 1 {
+			v = n.hasher.Lift(v, mustCountKey(it.count))
+		}
+		prod = n.hasher.Combine(prod, v)
+	}
+	send.expectedAckH = n.hasher.Lift(prod, send.kPrev)
+	n.sendCur = send
+	n.recvCur = newRecvRound()
+
+	n.mon.beginRound(r)
+
+	// Open the exchange with every successor.
+	succs := n.cfg.Directory.Successors(n.id, r)
+	for i, succ := range succs {
+		ex := &sendExchange{}
+		send.perSucc[succ] = ex
+		if b := n.cfg.Behavior.SkipServeEvery; b > 0 && (int(r)+i)%b == 0 {
+			ex.skipped = true
+			continue
+		}
+		req := &wire.KeyRequest{Round: r, From: n.id, To: succ}
+		n.signAndSend(succ, req)
+	}
+
+	// Replay messages of this round that arrived before the rotation
+	// (normal phase skew over a real network).
+	replay := n.deferred
+	n.deferred = nil
+	for _, msg := range replay {
+		n.dispatch(msg)
+	}
+}
+
+// MidRound runs after the exchange messages of the round have quiesced:
+// the node reports each received exchange to one designated monitor
+// (Fig 6, messages 6–7), publishes its self-digest (§V-B), raises
+// accusations for missing acknowledgements (§IV-A), and the monitor role
+// finalises nothing yet.
+func (n *Node) MidRound(r model.Round) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.flushMonitorReports(r)
+	n.raiseAccusations(r)
+}
+
+// EndRound first flushes monitor reports for exchanges that completed late
+// (through the probe path) so they still enter the round's obligation, then
+// lets the monitor role verify its monitored nodes: forwarding checks
+// against round r-1 obligations, digest cross-checks, and investigation
+// requests for missing acknowledgements.
+func (n *Node) EndRound(r model.Round) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.flushMonitorReports(r)
+	n.publishDigest(r)
+	if !n.cfg.Behavior.SilentMonitor {
+		n.mon.verify(r)
+	}
+}
+
+// CloseRound judges pending investigations, delivers playback-ready
+// updates, promotes K(R) → kPrev and garbage-collects.
+func (n *Node) CloseRound(r model.Round) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.cfg.Behavior.SilentMonitor {
+		n.mon.judge(r)
+	}
+
+	// Deliver everything whose playback deadline has arrived.
+	for _, e := range n.store.Undelivered(r) {
+		e.Delivered = true
+		n.stats.UpdatesDelivered++
+		if n.cfg.OnDeliver != nil {
+			n.cfg.OnDeliver(e.Update)
+		}
+	}
+
+	// K(R, self) becomes the serving key of round r+1.
+	n.kPrev = n.recvCur.productKey()
+
+	if r > storeRetentionRounds {
+		n.store.DropBefore(r - storeRetentionRounds)
+	}
+	n.mon.gc(r)
+	n.stats.RoundsRun++
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+// HandleMessage is the transport handler: it dispatches by envelope kind.
+// Malformed or mis-signed messages raise BadMessage verdicts and are
+// dropped — a Byzantine sender cannot stall the round. Messages of the
+// next round arriving early (phase skew over a real network) are buffered
+// and replayed at BeginRound; stale-round messages are dropped.
+func (n *Node) HandleMessage(msg transport.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	// Round gating only applies to the round-synchronous exchange
+	// messages; monitor messages carry their round in-band and are keyed
+	// by it.
+	switch msg.Kind {
+	case wire.KindKeyRequest, wire.KindAttestation, wire.KindAck,
+		wire.KindProbe, wire.KindAckRequest:
+		if r, ok := peekRound(msg.Payload); ok {
+			switch {
+			case r == n.round+1:
+				n.deferred = append(n.deferred, msg)
+				return
+			case r != n.round:
+				return // stale or far-future: drop
+			}
+		}
+	}
+	n.dispatch(msg)
+}
+
+// peekRound reads the round field of a plaintext message body
+// (kind byte followed by a big-endian round).
+func peekRound(payload []byte) (model.Round, bool) {
+	if len(payload) < 9 {
+		return 0, false
+	}
+	return model.Round(binary.BigEndian.Uint64(payload[1:9])), true
+}
+
+// dispatch routes a message to its handler; callers hold n.mu.
+func (n *Node) dispatch(msg transport.Message) {
+	switch msg.Kind {
+	case wire.KindKeyRequest:
+		n.onKeyRequest(msg)
+	case wire.KindKeyResponse:
+		n.onKeyResponse(msg)
+	case wire.KindServe:
+		n.onServe(msg)
+	case wire.KindAttestation:
+		n.onAttestation(msg)
+	case wire.KindAck:
+		n.onAck(msg)
+	case wire.KindAckCopy:
+		n.mon.onAckCopy(msg)
+	case wire.KindAttForward:
+		n.mon.onAttForward(msg)
+	case wire.KindHashShare:
+		n.mon.onHashShare(msg)
+	case wire.KindAckForward, wire.KindConfirm:
+		n.mon.onAckRelay(msg)
+	case wire.KindNodeDigest:
+		n.mon.onNodeDigest(msg)
+	case wire.KindAccusation:
+		n.mon.onAccusation(msg)
+	case wire.KindProbe:
+		n.onProbe(msg)
+	case wire.KindNack:
+		n.mon.onNack(msg)
+	case wire.KindAckRequest:
+		n.onAckRequest(msg)
+	case wire.KindAckExhibit:
+		n.mon.onAckExhibit(msg)
+	default:
+		n.report(Verdict{
+			Round: n.round, Kind: VerdictBadMessage, Accused: msg.From,
+			Detail: fmt.Sprintf("unknown kind %d", msg.Kind),
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+// signAndSend signs m with the node's identity and transmits it.
+func (n *Node) signAndSend(to model.NodeID, m interface {
+	Kind() uint8
+	SigningBytes() []byte
+	Marshal() []byte
+}) {
+	sig, err := n.cfg.Identity.Sign(m.SigningBytes())
+	if err != nil {
+		return
+	}
+	setSig(m, sig)
+	_ = n.cfg.Endpoint.Send(to, m.Kind(), m.Marshal())
+}
+
+// setSig assigns the signature field of any wire message.
+func setSig(m interface{ Kind() uint8 }, sig []byte) {
+	switch v := m.(type) {
+	case *wire.KeyRequest:
+		v.Sig = sig
+	case *wire.KeyResponse:
+		v.Sig = sig
+	case *wire.Serve:
+		v.Sig = sig
+	case *wire.Attestation:
+		v.Sig = sig
+	case *wire.Ack:
+		v.Sig = sig
+	case *wire.AttForward:
+		v.Sig = sig
+	case *wire.HashShare:
+		v.Sig = sig
+	case *wire.AckRelay:
+		v.Sig = sig
+	case *wire.NodeDigest:
+		v.Sig = sig
+	case *wire.Accusation:
+		v.Sig = sig
+	case *wire.Probe:
+		v.Sig = sig
+	case *wire.Nack:
+		v.Sig = sig
+	case *wire.AckRequest:
+		v.Sig = sig
+	case *wire.AckExhibit:
+		v.Sig = sig
+	}
+}
+
+// verify checks a signature with op accounting; on failure a BadMessage
+// verdict is raised against the claimed signer.
+func (n *Node) verify(signer model.NodeID, body, sig []byte, what string) bool {
+	err := pki.VerifyCounted(n.cfg.Suite, n.cfg.Identity.Counter(), signer, body, sig)
+	if err != nil {
+		n.report(Verdict{
+			Round: n.round, Kind: VerdictBadMessage, Accused: signer,
+			Detail: fmt.Sprintf("bad signature on %s", what),
+		})
+		return false
+	}
+	return true
+}
+
+// encryptTo produces {m}_pk(to) with op accounting.
+func (n *Node) encryptTo(to model.NodeID, plaintext []byte) ([]byte, error) {
+	return pki.EncryptCounted(n.cfg.Suite, n.cfg.Identity.Counter(), to, plaintext)
+}
+
+// mustCountKey converts a multiplicity into a hash key exponent.
+func mustCountKey(c uint64) hhash.Key {
+	k, err := hhash.KeyFromInt(new(big.Int).SetUint64(c))
+	if err != nil {
+		// counts are always >= 1 by construction
+		panic(fmt.Sprintf("core: invalid count %d: %v", c, err))
+	}
+	return k
+}
+
+// designatedMonitor picks which of B's monitors receives messages 6–7 for
+// the exchange with predecessor pred during round r. The choice rotates
+// deterministically "to prevent monitors from receiving all the products
+// of the prime numbers" (§V-B); determinism lets the other monitors know
+// whom to blame when the share never arrives.
+func designatedMonitor(monitors []model.NodeID, pred model.NodeID, r model.Round) model.NodeID {
+	if len(monitors) == 0 {
+		return model.NoNode
+	}
+	idx := (uint64(pred)*31 + uint64(r)) % uint64(len(monitors))
+	return monitors[idx]
+}

@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// TestPhaseSkewTolerance simulates the phase skew a real network exhibits:
+// some nodes begin round r+1 and send their KeyRequests while others are
+// still closing round r. With the deferral buffer, no verdicts arise and
+// dissemination is unharmed.
+func TestPhaseSkewTolerance(t *testing.T) {
+	h := newHarness(t, 12, 2)
+	// Drive rounds with a skewed schedule: node IDs 1..6 advance one
+	// phase before 7..12 in every phase (messages flow between the two
+	// halves in both directions at every boundary).
+	ids := make([]model.NodeID, 0, len(h.nodes))
+	for id := range h.nodes {
+		ids = append(ids, id)
+	}
+	// Deterministic split.
+	first, second := ids[:0:0], []model.NodeID(nil)
+	for id := model.NodeID(1); id <= 12; id++ {
+		if id <= 6 {
+			first = append(first, id)
+		} else {
+			second = append(second, id)
+		}
+	}
+
+	runSkewed := func(r model.Round) {
+		// Source injection (mirrors the engine hook).
+		us, err := h.gen.Emit(r, h.perRound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.nodes[h.source].InjectUpdates(us)
+
+		phase := func(f func(id model.NodeID)) {
+			for _, id := range first {
+				f(id)
+			}
+			h.net.DeliverAll() // first half's traffic lands early
+			for _, id := range second {
+				f(id)
+			}
+			h.net.DeliverAll()
+		}
+		phase(func(id model.NodeID) { h.nodes[id].BeginRound(r) })
+		phase(func(id model.NodeID) { h.nodes[id].MidRound(r) })
+		phase(func(id model.NodeID) { h.nodes[id].EndRound(r) })
+		phase(func(id model.NodeID) { h.nodes[id].CloseRound(r) })
+	}
+
+	for r := model.Round(1); r <= 14; r++ {
+		runSkewed(r)
+	}
+
+	h.requireNoVerdictsExcept()
+	for id, n := range h.nodes {
+		if id == h.source {
+			continue
+		}
+		if n.Stats().UpdatesDelivered == 0 {
+			t.Fatalf("node %v delivered nothing under skew", id)
+		}
+	}
+}
+
+// TestStaleMessagesDroppedSilently: messages from a past round (e.g. a
+// very late ack) are discarded without raising verdicts.
+func TestStaleMessagesDroppedSilently(t *testing.T) {
+	h := newHarness(t, 12, 1)
+	h.engine.Run(3)
+
+	// Capture a round-3 exchange message by replaying traffic: easiest
+	// is to advance one node past the others and let its round-4
+	// messages arrive "early" (deferred), then never catch up — the
+	// deferral path plus stale-drop must not convict anyone.
+	h.nodes[2].BeginRound(4) // node 2 runs ahead on its own
+	h.net.DeliverAll()       // its KeyRequests arrive as round-4 at round-3 peers
+	h.engine.Run(2)          // the rest of the system catches up and passes it
+
+	for _, v := range h.verdicts {
+		if v.Kind == core.VerdictBadMessage {
+			t.Fatalf("skew produced a BadMessage verdict: %v", v)
+		}
+	}
+}

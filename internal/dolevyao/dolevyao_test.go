@@ -1,0 +1,261 @@
+package dolevyao
+
+import "testing"
+
+// closeAndCheck builds, saturates and queries one scenario.
+func attack(t *testing.T, sc Scenario, target int) bool {
+	t.Helper()
+	s := BuildPAGRound(sc)
+	s.Close()
+	return s.KnowsUpdate(UpdateName(target))
+}
+
+// TestCase1PassiveGlobalAttacker is the paper's case (1): the attacker
+// listens to all communications and can replay/inject, but controls no
+// node. "ProVerif proves that no attack exists" — and neither does our
+// closure find one: no update and no prime is derivable.
+func TestCase1PassiveGlobalAttacker(t *testing.T) {
+	s := BuildPAGRound(Scenario{Preds: 3, Monitors: 3})
+	s.Close()
+	for i := 0; i < 3; i++ {
+		if s.KnowsUpdate(UpdateName(i)) {
+			t.Fatalf("passive attacker derived update %d", i)
+		}
+		if s.KnowsPrime(PrimeName(i)) {
+			t.Fatalf("passive attacker derived prime %d", i)
+		}
+	}
+}
+
+// TestCase2BelowThreshold is case (2) below the threshold: coalitions of
+// fewer nodes than needed cannot break the honest exchange A0→B.
+func TestCase2BelowThreshold(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"one monitor alone", Scenario{Preds: 3, Monitors: 3, CorruptMons: []int{0}}},
+		{"all monitors alone", Scenario{Preds: 3, Monitors: 3, CorruptMons: []int{0, 1, 2}}},
+		{"one predecessor alone", Scenario{Preds: 3, Monitors: 3, CorruptPreds: []int{1}}},
+		{"all other predecessors, no monitor", Scenario{Preds: 3, Monitors: 3, CorruptPreds: []int{1, 2}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if attack(t, c.sc, 0) {
+				t.Fatal("coalition below threshold broke P1")
+			}
+		})
+	}
+}
+
+// TestCase2AttackAtThreshold reproduces the attack ProVerif finds: a
+// corrupted monitor holding the remainder product of a corrupted
+// predecessor's exchange, with every predecessor outside {target, pivot}
+// corrupted, reveals the honest exchange's prime and then — by the §VI-A
+// dictionary attack — the update itself.
+func TestCase2AttackAtThreshold(t *testing.T) {
+	// f=3: target exchange 0 (honest A0). Pivot exchange 1: its
+	// designated monitor M0 is corrupted (remainder p0·p2), and A2 is
+	// corrupted (knows p2). Division yields p0; dictionary yields u0.
+	sc := Scenario{
+		Preds:        3,
+		Monitors:     3,
+		Designate:    func(pred int) int { return 0 }, // M0 gets all reports
+		CorruptPreds: []int{2},
+		CorruptMons:  []int{0},
+	}
+	s := BuildPAGRound(sc)
+	s.Close()
+	if !s.KnowsPrime(PrimeName(0)) {
+		t.Fatal("threshold coalition failed to derive the prime")
+	}
+	if !s.KnowsUpdate(UpdateName(0)) {
+		t.Fatal("threshold coalition failed the dictionary attack")
+	}
+}
+
+// TestDesignationMatters: the same coalition without the helpful
+// designation cannot reach the target exchange — but leaks the exchange
+// whose remainder it can fully divide.
+func TestDesignationMatters(t *testing.T) {
+	// M0 is designated only for exchange 0 (the target's own): its
+	// remainder p1·p2 contains no p0. With A2 corrupted, division
+	// reveals p1 — exchange 1 leaks, exchange 0 stays private.
+	sc := Scenario{
+		Preds:    3,
+		Monitors: 3,
+		Designate: func(pred int) int {
+			if pred == 0 {
+				return 0
+			}
+			return 1 // other exchanges reported to honest M1
+		},
+		CorruptPreds: []int{2},
+		CorruptMons:  []int{0},
+	}
+	s := BuildPAGRound(sc)
+	s.Close()
+	if s.KnowsUpdate(UpdateName(0)) {
+		t.Fatal("target exchange leaked despite unhelpful designation")
+	}
+	if !s.KnowsUpdate(UpdateName(1)) {
+		t.Fatal("divisible remainder should have leaked exchange 1")
+	}
+}
+
+// TestLargerFanoutNeedsLargerCoalition: with f=5, the f=3 threshold
+// coalition is no longer sufficient ("Increasing the value of f
+// reinforces the security of the protocol", §VI-A).
+func TestLargerFanoutNeedsLargerCoalition(t *testing.T) {
+	small := Scenario{
+		Preds:        5,
+		Monitors:     5,
+		Designate:    func(pred int) int { return 0 },
+		CorruptPreds: []int{4},
+		CorruptMons:  []int{0},
+	}
+	if attack(t, small, 0) {
+		t.Fatal("f=3-sized coalition broke an f=5 system")
+	}
+	// The attack returns once all predecessors outside {target, pivot}
+	// collude: preds {2,3,4} + monitor, pivot exchange 1.
+	big := Scenario{
+		Preds:        5,
+		Monitors:     5,
+		Designate:    func(pred int) int { return 0 },
+		CorruptPreds: []int{2, 3, 4},
+		CorruptMons:  []int{0},
+	}
+	if !attack(t, big, 0) {
+		t.Fatal("full coalition failed against f=5")
+	}
+}
+
+// TestEncryptionBlocksDecomposition: ciphertexts to honest nodes stay
+// opaque ("the only limitation of the global and active opponent is that
+// it is not able to invert encryptions", §III).
+func TestEncryptionBlocksDecomposition(t *testing.T) {
+	s := NewAttacker()
+	secret := Atom{Kind: KData, Name: "secret"}
+	s.Learn(Enc{To: "honest", Body: []Term{secret}})
+	s.Close()
+	if s.Knows(secret) {
+		t.Fatal("encryption inverted")
+	}
+	// With the recipient's key, it opens.
+	s.Learn(Priv("honest"))
+	s.Close()
+	if !s.Knows(secret) {
+		t.Fatal("legitimate decryption failed")
+	}
+}
+
+// TestSignaturesDoNotHide: signed content is readable.
+func TestSignaturesDoNotHide(t *testing.T) {
+	s := NewAttacker()
+	content := Atom{Kind: KData, Name: "public"}
+	s.Learn(Sig{By: "X", Body: []Term{content}})
+	s.Close()
+	if !s.Knows(content) {
+		t.Fatal("signature hid its content")
+	}
+}
+
+// TestDivisionNeedsAllButOne: a product with two unknown factors is
+// opaque ("predecessors and monitors of a node receive the product of
+// prime numbers, and are not able to factorise it", §IV-B).
+func TestDivisionNeedsAllButOne(t *testing.T) {
+	p1 := Atom{Kind: KPrime, Name: "x1"}
+	p2 := Atom{Kind: KPrime, Name: "x2"}
+	p3 := Atom{Kind: KPrime, Name: "x3"}
+
+	s := NewAttacker()
+	s.Learn(Prod{Factors: []Term{p1, p2, p3}})
+	s.Learn(p3)
+	s.Close()
+	if s.Knows(p1) || s.Knows(p2) {
+		t.Fatal("factored a two-unknown product")
+	}
+	s.Learn(p2)
+	s.Close()
+	if !s.Knows(p1) {
+		t.Fatal("division with one unknown failed")
+	}
+}
+
+// TestDictionaryNeedsKey: the observed hash plus the candidate list is
+// not enough without the prime (§VI-A's "not really practical" case is
+// modelled as impossible without the exponent).
+func TestDictionaryNeedsKey(t *testing.T) {
+	u := Atom{Kind: KUpdate, Name: "u"}
+	p := Atom{Kind: KPrime, Name: "p"}
+	s := NewAttacker()
+	s.AddCandidate("u")
+	s.Learn(Hash{U: u, Key: p})
+	s.Close()
+	if s.Knows(u) {
+		t.Fatal("dictionary attack without the key")
+	}
+	s.Learn(p)
+	s.Close()
+	if !s.Knows(u) {
+		t.Fatal("dictionary attack with the key failed")
+	}
+}
+
+// TestDictionaryNeedsCandidate: an update outside the candidate universe
+// cannot be recovered even with the key (hash preimage resistance).
+func TestDictionaryNeedsCandidate(t *testing.T) {
+	u := Atom{Kind: KUpdate, Name: "offlist"}
+	p := Atom{Kind: KPrime, Name: "p"}
+	s := NewAttacker()
+	s.Learn(Hash{U: u, Key: p})
+	s.Learn(p)
+	s.Close()
+	if s.Knows(u) {
+		t.Fatal("recovered a non-candidate update")
+	}
+}
+
+// TestProductKeyDictionary: a hash under a product key falls to the
+// dictionary once every factor is known.
+func TestProductKeyDictionary(t *testing.T) {
+	u := Atom{Kind: KUpdate, Name: "u"}
+	p1 := Atom{Kind: KPrime, Name: "p1"}
+	p2 := Atom{Kind: KPrime, Name: "p2"}
+	s := NewAttacker()
+	s.AddCandidate("u")
+	s.Learn(Hash{U: Prod{Factors: []Term{u}}, Key: Prod{Factors: []Term{p1, p2}}})
+	s.Learn(p1)
+	s.Close()
+	if s.Knows(u) {
+		t.Fatal("partial key sufficed")
+	}
+	s.Learn(p2)
+	s.Close()
+	if !s.Knows(u) {
+		t.Fatal("full key dictionary failed")
+	}
+}
+
+func TestSystemSize(t *testing.T) {
+	s := NewAttacker()
+	if s.Size() != 0 {
+		t.Fatal("fresh attacker knows something")
+	}
+	s.Learn(Atom{Kind: KData, Name: "x"})
+	s.Learn(Atom{Kind: KData, Name: "x"}) // dedup
+	if s.Size() != 1 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+}
+
+func TestCanonicalKeysCommutative(t *testing.T) {
+	a := Atom{Kind: KPrime, Name: "a"}
+	b := Atom{Kind: KPrime, Name: "b"}
+	p1 := Prod{Factors: []Term{a, b}}
+	p2 := Prod{Factors: []Term{b, a}}
+	if p1.key() != p2.key() {
+		t.Fatal("product keys not commutative")
+	}
+}

@@ -1,0 +1,379 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII). Each runner returns a Result whose Text holds the
+// same rows/series the paper reports; cmd/pag-experiments prints them and
+// EXPERIMENTS.md records paper-vs-measured.
+//
+// Simulated numbers come from full protocol runs over the in-memory
+// network (byte-exact wire accounting); where the paper itself computed
+// rather than simulated (Fig 9 beyond feasible sizes, Table II's capacity
+// sweep), the analytic models of internal/analytic take over.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/coalition"
+	"repro/internal/dolevyao"
+	"repro/internal/model"
+
+	pag "repro"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// Options tunes experiment scale. Zero values select the defaults noted
+// per field; Quick shrinks everything for smoke tests and benchmarks.
+type Options struct {
+	// Nodes is the simulated system size (default 48; the paper's
+	// deployment used 432 — pass -nodes 432 for the full run).
+	Nodes int
+	// WarmupRounds / MeasureRounds bound the simulated session.
+	WarmupRounds  int
+	MeasureRounds int
+	// StreamKbps is the source rate (default 300, the paper's setting).
+	StreamKbps int
+	// ModulusBits sizes the homomorphic hash (default 512; Quick uses
+	// 128 — wire sizes shrink, so absolute kbps drop slightly).
+	ModulusBits int
+	// Quick selects the fast profile.
+	Quick bool
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		if o.Quick {
+			o.Nodes = 24
+		} else {
+			o.Nodes = 48
+		}
+	}
+	if o.WarmupRounds == 0 {
+		o.WarmupRounds = 5
+	}
+	if o.MeasureRounds == 0 {
+		if o.Quick {
+			o.MeasureRounds = 10
+		} else {
+			o.MeasureRounds = 20
+		}
+	}
+	if o.StreamKbps == 0 {
+		if o.Quick {
+			o.StreamKbps = 60
+		} else {
+			o.StreamKbps = 300
+		}
+	}
+	if o.ModulusBits == 0 {
+		if o.Quick {
+			o.ModulusBits = 128
+		} else {
+			o.ModulusBits = 512
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// runSession measures one protocol's per-node bandwidth distribution.
+func runSession(o Options, protocol pag.Protocol) (*pag.Session, error) {
+	s, err := pag.NewSession(pag.SessionConfig{
+		Nodes:       o.Nodes,
+		Protocol:    protocol,
+		StreamKbps:  o.StreamKbps,
+		ModulusBits: o.ModulusBits,
+		Seed:        o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Run(o.WarmupRounds)
+	s.StartMeasuring()
+	s.Run(o.MeasureRounds)
+	return s, nil
+}
+
+// Fig7 regenerates the bandwidth-consumption CDF of PAG vs AcTinG
+// (300 kbps stream, 3 monitors).
+func Fig7(opt Options) (Result, error) {
+	o := opt.withDefaults()
+	pagSess, err := runSession(o, pag.ProtocolPAG)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: fig7 PAG: %w", err)
+	}
+	actSess, err := runSession(o, pag.ProtocolAcTinG)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: fig7 AcTinG: %w", err)
+	}
+	pagBW := pagSess.BandwidthSample()
+	actBW := actSess.BandwidthSample()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 7 — per-node bandwidth CDF, %d kbps stream, %d nodes, 3 monitors\n",
+		o.StreamKbps, o.Nodes)
+	fmt.Fprintf(&b, "paper (432 nodes, 300 kbps): AcTinG mean 460 kbps, PAG mean 1050 kbps\n\n")
+	fmt.Fprintf(&b, "%-8s %-14s %-14s\n", "CDF(%)", "AcTinG(kbps)", "PAG(kbps)")
+	for _, pct := range []float64{10, 25, 50, 75, 90, 99} {
+		fmt.Fprintf(&b, "%-8.0f %-14.0f %-14.0f\n",
+			pct, actBW.Percentile(pct), pagBW.Percentile(pct))
+	}
+	fmt.Fprintf(&b, "\nmeans: AcTinG %.0f kbps, PAG %.0f kbps (ratio %.2f; paper 2.3)\n",
+		actBW.Mean(), pagBW.Mean(), pagBW.Mean()/actBW.Mean())
+	fmt.Fprintf(&b, "continuity: AcTinG %.3f, PAG %.3f\n",
+		actSess.MeanContinuity(), pagSess.MeanContinuity())
+	return Result{ID: "fig7", Title: "Bandwidth consumption CDF (PAG vs AcTinG)", Text: b.String()}, nil
+}
+
+// Fig8 regenerates PAG bandwidth as a function of update size
+// (300 kbps stream): simulation at small sizes, the analytic model across
+// the full 1–100 kb sweep.
+func Fig8(opt Options) (Result, error) {
+	o := opt.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8 — PAG bandwidth vs update size, %d kbps stream\n", o.StreamKbps)
+	fmt.Fprintf(&b, "paper: decreasing curve ~1.9 Mbps at 1 kb to well under 1 Mbps at 100 kb\n\n")
+	fmt.Fprintf(&b, "%-16s %-16s %-16s\n", "update size(B)", "sim(kbps)", "model(kbps)")
+
+	simSizes := map[int]bool{1000: true, 10000: true}
+	if o.Quick {
+		simSizes = map[int]bool{1000: true}
+	}
+	for _, size := range []int{1000, 5000, 10000, 25000, 50000, 100000} {
+		simVal := "-"
+		if simSizes[size] {
+			s, err := pag.NewSession(pag.SessionConfig{
+				Nodes:       o.Nodes,
+				Protocol:    pag.ProtocolPAG,
+				StreamKbps:  o.StreamKbps,
+				UpdateBytes: size,
+				ModulusBits: o.ModulusBits,
+				Seed:        o.Seed,
+			})
+			if err != nil {
+				return Result{}, fmt.Errorf("experiments: fig8 size %d: %w", size, err)
+			}
+			s.Run(o.WarmupRounds)
+			s.StartMeasuring()
+			s.Run(o.MeasureRounds)
+			simVal = fmt.Sprintf("%.0f", s.BandwidthSample().Mean())
+		}
+		m := analytic.PAGPerNodeKbps(analytic.Params{
+			PayloadKbps: o.StreamKbps,
+			UpdateBytes: size,
+			N:           1000,
+		})
+		fmt.Fprintf(&b, "%-16d %-16s %-16.0f\n", size, simVal, m)
+	}
+	return Result{ID: "fig8", Title: "Bandwidth vs update size", Text: b.String()}, nil
+}
+
+// Fig9 regenerates the scalability curve: simulation at feasible sizes,
+// the analytic model up to a million nodes (as the paper did).
+func Fig9(opt Options) (Result, error) {
+	o := opt.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 9 — scalability with a %d kbps stream\n", o.StreamKbps)
+	fmt.Fprintf(&b, "paper at 10^6 nodes: PAG 2.5 Mbps, AcTinG 840 kbps\n\n")
+	fmt.Fprintf(&b, "%-12s %-10s %-16s %-16s %-16s %-16s\n",
+		"nodes", "fanout", "PAG sim", "PAG model", "AcTinG sim", "AcTinG model")
+
+	simSizes := []int{24, 48}
+	if o.Quick {
+		simSizes = []int{16}
+	}
+	for _, n := range simSizes {
+		oo := o
+		oo.Nodes = n
+		pagSess, err := runSession(oo, pag.ProtocolPAG)
+		if err != nil {
+			return Result{}, fmt.Errorf("experiments: fig9 N=%d: %w", n, err)
+		}
+		actSess, err := runSession(oo, pag.ProtocolAcTinG)
+		if err != nil {
+			return Result{}, fmt.Errorf("experiments: fig9 N=%d: %w", n, err)
+		}
+		fmt.Fprintf(&b, "%-12d %-10d %-16.0f %-16.0f %-16.0f %-16.0f\n",
+			n, model.FanoutFor(n),
+			pagSess.BandwidthSample().Mean(),
+			analytic.PAGPerNodeKbps(analytic.Params{PayloadKbps: o.StreamKbps, N: n}),
+			actSess.BandwidthSample().Mean(),
+			analytic.ActingPerNodeKbps(analytic.Params{PayloadKbps: o.StreamKbps, N: n}))
+	}
+	for _, n := range []int{1000, 10000, 100000, 1000000} {
+		fmt.Fprintf(&b, "%-12d %-10d %-16s %-16.0f %-16s %-16.0f\n",
+			n, model.FanoutFor(n), "-",
+			analytic.PAGPerNodeKbps(analytic.Params{PayloadKbps: o.StreamKbps, N: n}),
+			"-",
+			analytic.ActingPerNodeKbps(analytic.Params{PayloadKbps: o.StreamKbps, N: n}))
+	}
+	return Result{ID: "fig9", Title: "Scalability (bandwidth vs N)", Text: b.String()}, nil
+}
+
+// Fig10 regenerates the coalition study: proportion of interactions
+// discovered vs attacker fraction.
+func Fig10(opt Options) (Result, error) {
+	o := opt.withDefaults()
+	trials := 100000
+	if o.Quick {
+		trials = 20000
+	}
+	fracs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+	pag3 := coalition.Sweep(coalition.Config{Fanout: 3, Monitors: 3, Trials: trials, Seed: int64(o.Seed)}, fracs)
+	pag5 := coalition.Sweep(coalition.Config{Fanout: 5, Monitors: 5, Trials: trials, Seed: int64(o.Seed) + 1}, fracs)
+
+	var b strings.Builder
+	b.WriteString("Fig 10 — interactions discovered by a global/active coalition\n")
+	b.WriteString("paper: AcTinG fully discovered at ~10% attackers; PAG near the minimum, 5 monitors closer than 3\n\n")
+	fmt.Fprintf(&b, "%-14s %-12s %-12s %-12s %-12s\n",
+		"attackers(%)", "AcTinG(%)", "PAG-3(%)", "PAG-5(%)", "minimum(%)")
+	for i, p := range pag3 {
+		fmt.Fprintf(&b, "%-14.0f %-12.1f %-12.1f %-12.1f %-12.1f\n",
+			p.AttackerFraction*100, p.AcTinG*100, p.PAG*100,
+			pag5[i].PAG*100, p.Minimum*100)
+	}
+	return Result{ID: "fig10", Title: "Coalition resilience", Text: b.String()}, nil
+}
+
+// Table1 regenerates the crypto-cost table: RSA signatures and
+// homomorphic hashes per second per video quality, with measured rates
+// from a live simulation at the 240p operating point.
+func Table1(opt Options) (Result, error) {
+	o := opt.withDefaults()
+	sess, err := runSession(o, pag.ProtocolPAG)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: table1: %w", err)
+	}
+	var hashOps, sigOps, nodes float64
+	for id, st := range sess.PAGNodeStats() {
+		if id == pag.SourceID {
+			continue
+		}
+		hashOps += float64(st.HashOps)
+		sigOps += float64(st.SigOps)
+		nodes++
+	}
+	seconds := float64(o.WarmupRounds + o.MeasureRounds)
+	measuredHashes := hashOps / nodes / seconds
+	measuredSigs := sigOps / nodes / seconds
+
+	var b strings.Builder
+	b.WriteString("Table I — RSA signatures and homomorphic hashes per second (1000 nodes, f=3)\n")
+	b.WriteString("paper row 'RSA signatures': 33 at every quality\n")
+	b.WriteString("paper row 'Hashes': 133 / 475 / 1170 / 1560 / 3934 / 7200\n\n")
+	fmt.Fprintf(&b, "%-10s %-14s %-14s %-14s\n", "quality", "payload(kbps)", "signatures/s", "hashes/s")
+	for _, q := range model.Qualities() {
+		fmt.Fprintf(&b, "%-10s %-14d %-14.0f %-14.0f\n",
+			q.String(), q.PayloadKbps(),
+			analytic.SignaturesPerSec(3, 3),
+			analytic.HashesPerSec(q.PayloadKbps(), 0, 0, 3))
+	}
+	fmt.Fprintf(&b, "\nmeasured in the %d kbps simulation: %.0f signatures/s, %.0f hashes/s per node\n",
+		o.StreamKbps, measuredSigs, measuredHashes)
+	return Result{ID: "table1", Title: "Cryptographic costs per video quality", Text: b.String()}, nil
+}
+
+// Table2 regenerates the sustainable-quality table across link capacities.
+func Table2(opt Options) (Result, error) {
+	pagModel := func(kbps int) float64 {
+		return analytic.PAGPerNodeKbps(analytic.Params{PayloadKbps: kbps, N: 1000})
+	}
+	actModel := func(kbps int) float64 {
+		return analytic.ActingPerNodeKbps(analytic.Params{PayloadKbps: kbps, N: 1000})
+	}
+	racModel := func(kbps int) float64 { return analytic.RACPerNodeKbps(kbps, 1000) }
+
+	type link struct {
+		name     string
+		capacity float64 // kbps
+	}
+	links := []link{
+		{"1.5Mbps (ADSL Lite)", 1500},
+		{"10Mbps (Ethernet)", 10000},
+		{"100Mbps (Fast Ethernet)", 100000},
+		{"1Gbps (Gigabit)", 1e6},
+		{"10Gbps (10 Gigabit)", 10e6},
+	}
+	cell := func(m func(int) float64, capacity float64) string {
+		q, bw, ok := analytic.MaxSustainableQuality(m, capacity)
+		if !ok {
+			return "∅"
+		}
+		return fmt.Sprintf("%s (%.1f Mbps)", q, bw/1000)
+	}
+	var b strings.Builder
+	b.WriteString("Table II — max sustainable video quality vs link capacity (1000 nodes)\n")
+	b.WriteString("paper: PAG 144p@1.5M / 480p@10M / 1080p@100M+; AcTinG 480p@1.5M / 1080p@10M+; RAC ∅ everywhere\n\n")
+	fmt.Fprintf(&b, "%-26s %-22s %-22s %-6s\n", "link", "PAG", "AcTinG", "RAC")
+	for _, l := range links {
+		fmt.Fprintf(&b, "%-26s %-22s %-22s %-6s\n",
+			l.name, cell(pagModel, l.capacity), cell(actModel, l.capacity),
+			cell(racModel, l.capacity))
+	}
+	b.WriteString("\nprivacy: PAG ✓, AcTinG ✗, RAC ✓ — accountability: all ✓\n")
+	return Result{ID: "table2", Title: "Sustainable quality vs link capacity", Text: b.String()}, nil
+}
+
+// ProVerif reruns the §VI-A symbolic analysis with the Dolev–Yao engine.
+func ProVerif(Options) (Result, error) {
+	var b strings.Builder
+	b.WriteString("§VI-A — symbolic privacy analysis (ProVerif substitute)\n\n")
+
+	scenario := func(name string, sc dolevyao.Scenario, target int) {
+		s := dolevyao.BuildPAGRound(sc)
+		s.Close()
+		verdict := "P1 HOLDS (target update not derivable)"
+		if s.KnowsUpdate(dolevyao.UpdateName(target)) {
+			verdict = "ATTACK FOUND (target update derived)"
+		}
+		fmt.Fprintf(&b, "%-58s %s\n", name, verdict)
+	}
+	scenario("case 1: global active attacker, no insiders",
+		dolevyao.Scenario{Preds: 3, Monitors: 3}, 0)
+	scenario("case 2: all monitors, no predecessor",
+		dolevyao.Scenario{Preds: 3, Monitors: 3, CorruptMons: []int{0, 1, 2}}, 0)
+	scenario("case 2: all other predecessors, no monitor",
+		dolevyao.Scenario{Preds: 3, Monitors: 3, CorruptPreds: []int{1, 2}}, 0)
+	scenario("case 2: threshold coalition (monitor + predecessor)",
+		dolevyao.Scenario{Preds: 3, Monitors: 3,
+			Designate:    func(int) int { return 0 },
+			CorruptPreds: []int{2}, CorruptMons: []int{0}}, 0)
+	scenario("f=5: same coalition size",
+		dolevyao.Scenario{Preds: 5, Monitors: 5,
+			Designate:    func(int) int { return 0 },
+			CorruptPreds: []int{4}, CorruptMons: []int{0}}, 0)
+	scenario("f=5: full coalition",
+		dolevyao.Scenario{Preds: 5, Monitors: 5,
+			Designate:    func(int) int { return 0 },
+			CorruptPreds: []int{2, 3, 4}, CorruptMons: []int{0}}, 0)
+
+	b.WriteString("\npaper: no attack below the collusion threshold; attack found at it;\n")
+	b.WriteString("increasing f reinforces the protocol (§VI-A)\n")
+	return Result{ID: "proverif", Title: "Symbolic privacy analysis", Text: b.String()}, nil
+}
+
+// All runs every experiment in paper order.
+func All(opt Options) ([]Result, error) {
+	runners := []func(Options) (Result, error){
+		Fig7, Fig8, Table1, Table2, Fig9, Fig10, ProVerif,
+	}
+	out := make([]Result, 0, len(runners))
+	for _, run := range runners {
+		r, err := run(opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick returns the smoke-test options.
+func quick() Options { return Options{Quick: true, Seed: 3} }
+
+func TestFig7Smoke(t *testing.T) {
+	r, err := Fig7(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "fig7" || !strings.Contains(r.Text, "AcTinG") ||
+		!strings.Contains(r.Text, "PAG") || !strings.Contains(r.Text, "ratio") {
+		t.Fatalf("fig7 output:\n%s", r.Text)
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	r, err := Fig8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "update size") || !strings.Contains(r.Text, "100000") {
+		t.Fatalf("fig8 output:\n%s", r.Text)
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	r, err := Fig9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "1000000") {
+		t.Fatalf("fig9 output must reach 10^6 nodes:\n%s", r.Text)
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	r, err := Fig10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "PAG-5") || !strings.Contains(r.Text, "minimum") {
+		t.Fatalf("fig10 output:\n%s", r.Text)
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	r, err := Table1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"144p", "240p", "360p", "480p", "720p", "1080p", "measured"} {
+		if !strings.Contains(r.Text, q) {
+			t.Fatalf("table1 missing %q:\n%s", q, r.Text)
+		}
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	r, err := Table2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "∅") {
+		t.Fatalf("table2 must show RAC's empty cells:\n%s", r.Text)
+	}
+	if !strings.Contains(r.Text, "1080p") {
+		t.Fatalf("table2 must reach 1080p:\n%s", r.Text)
+	}
+}
+
+func TestProVerifSmoke(t *testing.T) {
+	r, err := ProVerif(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(r.Text, "P1 HOLDS") < 4 {
+		t.Fatalf("expected ≥4 safe cases:\n%s", r.Text)
+	}
+	if strings.Count(r.Text, "ATTACK FOUND") != 2 {
+		t.Fatalf("expected exactly 2 attack cases:\n%s", r.Text)
+	}
+}
+
+func TestAllRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	rs, err := All(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 7 {
+		t.Fatalf("%d results, want 7", len(rs))
+	}
+	seen := map[string]bool{}
+	for _, r := range rs {
+		if r.ID == "" || r.Title == "" || len(r.Text) < 50 || seen[r.ID] {
+			t.Fatalf("bad result %+v", r)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Nodes != 48 || o.StreamKbps != 300 || o.ModulusBits != 512 {
+		t.Fatalf("full defaults: %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.Nodes != 24 || q.StreamKbps != 60 || q.ModulusBits != 128 {
+		t.Fatalf("quick defaults: %+v", q)
+	}
+}

@@ -1,0 +1,101 @@
+package hhash
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestObligationAlgebraProperty drives the full §V-B/§V-C monitor algebra
+// with randomised exchanges: random predecessor counts, random update sets
+// with random reception multiplicities. The invariant under test is the
+// protocol's core soundness property — the product of remainder-lifted
+// per-exchange attestations equals the successor acknowledgement of the
+// union multiset under the full product key.
+func TestObligationAlgebraProperty(t *testing.T) {
+	params := testParams(t)
+	h := NewHasher(params, nil)
+	rng := rand.New(rand.NewSource(77))
+
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		preds := 2 + local.Intn(4) // 2..5 predecessors
+
+		keys := make([]Key, preds)
+		for i := range keys {
+			k, err := GeneratePrimeKey(rng, 48)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys[i] = k
+		}
+		full := OneKey()
+		for _, k := range keys {
+			full = full.Mul(k)
+		}
+
+		// Per-exchange random content with multiplicities.
+		var allItems [][]byte
+		var allCounts []uint64
+		atts := make([]*big.Int, preds)
+		for i := 0; i < preds; i++ {
+			nItems := local.Intn(4) // 0..3 items
+			items := make([][]byte, nItems)
+			counts := make([]uint64, nItems)
+			for j := range items {
+				buf := make([]byte, 8+local.Intn(24))
+				local.Read(buf)
+				items[j] = buf
+				counts[j] = 1 + uint64(local.Intn(5))
+				allItems = append(allItems, buf)
+				allCounts = append(allCounts, counts[j])
+			}
+			att, err := h.HashSet(keys[i], items, counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			atts[i] = att
+		}
+
+		// Monitor side: lift each attestation by its remainder.
+		obligation := h.Identity()
+		for i, att := range atts {
+			rem := OneKey()
+			for o, k := range keys {
+				if o != i {
+					rem = rem.Mul(k)
+				}
+			}
+			obligation = h.Combine(obligation, h.Lift(att, rem))
+		}
+
+		// Successor side: acknowledge the union multiset under K.
+		ack, err := h.HashSet(full, allItems, allCounts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return obligation.Cmp(ack) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiftOrderIrrelevant: lifting by p then q equals lifting by q then p
+// equals lifting by p·q (used implicitly whenever remainders are applied
+// in different orders by different monitors).
+func TestLiftOrderIrrelevant(t *testing.T) {
+	params := testParams(t)
+	h := NewHasher(params, nil)
+	p, q := testKey(t, 91), testKey(t, 92)
+	u := []byte("content")
+
+	base := h.Embed(u)
+	a := h.Lift(h.Lift(base, p), q)
+	b := h.Lift(h.Lift(base, q), p)
+	c := h.Lift(base, p.Mul(q))
+	if a.Cmp(b) != 0 || b.Cmp(c) != 0 {
+		t.Fatal("lift order matters")
+	}
+}

@@ -1,0 +1,54 @@
+package membership
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestMonitorEpochStatic(t *testing.T) {
+	d := newDir(t, 20, Config{Seed: 1})
+	if d.MonitorEpoch(1) != 0 || d.MonitorEpoch(999) != 0 {
+		t.Fatal("static monitors should have a constant epoch")
+	}
+}
+
+func TestMonitorEpochRotating(t *testing.T) {
+	d := newDir(t, 20, Config{Seed: 1, MonitorRotationRounds: 10})
+	cases := []struct {
+		r    model.Round
+		want model.Round
+	}{
+		{0, 0}, {9, 0}, {10, 1}, {19, 1}, {20, 2},
+	}
+	for _, c := range cases {
+		if got := d.MonitorEpoch(c.r); got != c.want {
+			t.Errorf("MonitorEpoch(%v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+// TestMonitorSetsDifferAcrossNodes: two nodes rarely share their full
+// monitor set (independence of assignments).
+func TestMonitorSetsDifferAcrossNodes(t *testing.T) {
+	d := newDir(t, 50, Config{Seed: 2})
+	same := 0
+	prev := d.Monitors(1, 1)
+	for id := model.NodeID(2); id <= 50; id++ {
+		cur := d.Monitors(id, 1)
+		equal := len(cur) == len(prev)
+		for i := range cur {
+			if !equal || cur[i] != prev[i] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			same++
+		}
+		prev = cur
+	}
+	if same > 5 {
+		t.Fatalf("%d/49 adjacent nodes share monitor sets", same)
+	}
+}

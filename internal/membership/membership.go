@@ -1,0 +1,263 @@
+// Package membership provides the membership substrate PAG assumes (§III):
+// "a membership protocol (e.g., Fireflies) provides nodes with a set of
+// successors and monitors that can be identified, for a given round, by
+// each node in the system".
+//
+// The directory keeps the full member list and derives, from a shared seed,
+// deterministic pseudo-random successor and monitor assignments per round —
+// every node (and every monitor) can recompute every other node's
+// assignments, which is exactly the capability the accountability checks
+// rely on. Predecessor sets are the inverse of the successor relation.
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// DefaultMonitorRotationRounds is how often monitor sets are re-drawn.
+// Zero means static monitors for the whole session.
+const DefaultMonitorRotationRounds = 0
+
+// Config parameterises a Directory.
+type Config struct {
+	// Seed is the shared randomness all nodes derive assignments from.
+	Seed uint64
+	// Fanout is the number of successors per node per round (f).
+	Fanout int
+	// Monitors is the number of monitors per node (f_m; the paper uses
+	// the same value as the fanout, §VII-A).
+	Monitors int
+	// MonitorRotationRounds re-draws monitor sets every given number of
+	// rounds; 0 keeps them static.
+	MonitorRotationRounds int
+}
+
+// Directory is the full-membership view. It is safe for concurrent use.
+type Directory struct {
+	cfg   Config
+	nodes []model.NodeID // sorted, deduplicated
+	index map[model.NodeID]int
+
+	mu    sync.Mutex
+	views map[model.Round]*RoundView // small LRU by round
+}
+
+// New creates a Directory over the given members.
+func New(nodes []model.NodeID, cfg Config) (*Directory, error) {
+	if cfg.Fanout <= 0 {
+		return nil, fmt.Errorf("membership: fanout %d must be positive", cfg.Fanout)
+	}
+	if cfg.Monitors <= 0 {
+		return nil, fmt.Errorf("membership: monitor count %d must be positive", cfg.Monitors)
+	}
+	if len(nodes) < 2 {
+		return nil, errors.New("membership: need at least two nodes")
+	}
+	sorted := make([]model.NodeID, 0, len(nodes))
+	seen := make(map[model.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		if n == model.NoNode {
+			return nil, errors.New("membership: NoNode cannot be a member")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("membership: duplicate node %v", n)
+		}
+		seen[n] = true
+		sorted = append(sorted, n)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if cfg.Fanout >= len(sorted) {
+		return nil, fmt.Errorf("membership: fanout %d must be < system size %d",
+			cfg.Fanout, len(sorted))
+	}
+	if cfg.Monitors >= len(sorted) {
+		return nil, fmt.Errorf("membership: monitor count %d must be < system size %d",
+			cfg.Monitors, len(sorted))
+	}
+	index := make(map[model.NodeID]int, len(sorted))
+	for i, n := range sorted {
+		index[n] = i
+	}
+	return &Directory{
+		cfg:   cfg,
+		nodes: sorted,
+		index: index,
+		views: make(map[model.Round]*RoundView),
+	}, nil
+}
+
+// N returns the system size.
+func (d *Directory) N() int { return len(d.nodes) }
+
+// Fanout returns the configured fanout.
+func (d *Directory) Fanout() int { return d.cfg.Fanout }
+
+// MonitorCount returns the configured monitors per node.
+func (d *Directory) MonitorCount() int { return d.cfg.Monitors }
+
+// Nodes returns the member list in ascending order (a copy).
+func (d *Directory) Nodes() []model.NodeID {
+	out := make([]model.NodeID, len(d.nodes))
+	copy(out, d.nodes)
+	return out
+}
+
+// Contains reports whether id is a member.
+func (d *Directory) Contains(id model.NodeID) bool {
+	_, ok := d.index[id]
+	return ok
+}
+
+// RoundView is the materialised assignment of one round.
+type RoundView struct {
+	round model.Round
+	succ  map[model.NodeID][]model.NodeID
+	pred  map[model.NodeID][]model.NodeID
+}
+
+// Round returns the view's round.
+func (v *RoundView) Round() model.Round { return v.round }
+
+// Successors returns the successor set of x (a copy).
+func (v *RoundView) Successors(x model.NodeID) []model.NodeID {
+	return copyIDs(v.succ[x])
+}
+
+// Predecessors returns every node whose successor set contains x (a copy).
+func (v *RoundView) Predecessors(x model.NodeID) []model.NodeID {
+	return copyIDs(v.pred[x])
+}
+
+// View materialises (and caches) the assignment for round r.
+func (d *Directory) View(r model.Round) *RoundView {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if v, ok := d.views[r]; ok {
+		return v
+	}
+	v := d.buildView(r)
+	// Keep the cache small: drop views older than a playout window.
+	const keep = 16
+	if len(d.views) >= keep {
+		var oldest model.Round
+		first := true
+		for rr := range d.views {
+			if first || rr < oldest {
+				oldest = rr
+				first = false
+			}
+		}
+		delete(d.views, oldest)
+	}
+	d.views[r] = v
+	return v
+}
+
+func (d *Directory) buildView(r model.Round) *RoundView {
+	v := &RoundView{
+		round: r,
+		succ:  make(map[model.NodeID][]model.NodeID, len(d.nodes)),
+		pred:  make(map[model.NodeID][]model.NodeID, len(d.nodes)),
+	}
+	for _, x := range d.nodes {
+		succ := d.pick(x, r, 0xA5CE55, d.cfg.Fanout)
+		v.succ[x] = succ
+		for _, s := range succ {
+			v.pred[s] = append(v.pred[s], x)
+		}
+	}
+	for _, x := range d.nodes {
+		sort.Slice(v.pred[x], func(i, j int) bool { return v.pred[x][i] < v.pred[x][j] })
+	}
+	return v
+}
+
+// Successors returns x's successors in round r.
+func (d *Directory) Successors(x model.NodeID, r model.Round) []model.NodeID {
+	return d.View(r).Successors(x)
+}
+
+// Predecessors returns x's predecessors in round r.
+func (d *Directory) Predecessors(x model.NodeID, r model.Round) []model.NodeID {
+	return d.View(r).Predecessors(x)
+}
+
+// MonitorEpoch returns the monitor-assignment epoch of round r: the value
+// that changes exactly when monitor sets are re-drawn.
+func (d *Directory) MonitorEpoch(r model.Round) model.Round {
+	if p := d.cfg.MonitorRotationRounds; p > 0 {
+		return r / model.Round(p)
+	}
+	return 0
+}
+
+// Monitors returns the monitor set M(x) in effect at round r. With a zero
+// rotation period the set is static for the session.
+func (d *Directory) Monitors(x model.NodeID, r model.Round) []model.NodeID {
+	return d.pick(x, d.MonitorEpoch(r), 0x300717035, d.cfg.Monitors)
+}
+
+// IsMonitorOf reports whether m ∈ M(x) at round r.
+func (d *Directory) IsMonitorOf(m, x model.NodeID, r model.Round) bool {
+	for _, id := range d.Monitors(x, r) {
+		if id == m {
+			return true
+		}
+	}
+	return false
+}
+
+// pick deterministically selects k distinct members other than x, seeded by
+// (seed, x, r, salt). Selection is a partial Fisher–Yates over the sorted
+// member list driven by a splitmix64 stream, so every process derives the
+// same assignment.
+func (d *Directory) pick(x model.NodeID, r model.Round, salt uint64, k int) []model.NodeID {
+	rng := newSplitMix(d.cfg.Seed ^ uint64(x)*0x9E3779B97F4A7C15 ^ uint64(r)*0xBF58476D1CE4E5B9 ^ salt)
+	n := len(d.nodes)
+	// Partial shuffle over index space, skipping x.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	self := d.index[x]
+	// Move self to the end and shrink, so it is never selected.
+	idx[self], idx[n-1] = idx[n-1], idx[self]
+	limit := n - 1
+
+	out := make([]model.NodeID, 0, k)
+	for i := 0; i < k && i < limit; i++ {
+		j := i + int(rng.next()%uint64(limit-i))
+		idx[i], idx[j] = idx[j], idx[i]
+		out = append(out, d.nodes[idx[i]])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func copyIDs(in []model.NodeID) []model.NodeID {
+	if in == nil {
+		return nil
+	}
+	out := make([]model.NodeID, len(in))
+	copy(out, in)
+	return out
+}
+
+// splitMix is a splitmix64 PRNG: tiny, fast and stable across platforms,
+// so assignments are reproducible everywhere.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

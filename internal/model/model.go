@@ -1,0 +1,165 @@
+// Package model defines the basic identifiers and constants shared by every
+// subsystem of the PAG reproduction: node identifiers, round numbers, update
+// identifiers and the video-quality ladder used throughout the paper's
+// evaluation (Table I).
+package model
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// NodeID uniquely identifies a node in the system. The paper assumes nodes
+// are "uniquely identified with an integer identifier, for example
+// deterministically computed using their IP addresses" (§III); in the
+// simulator identifiers are dense indexes, in the TCP deployment they are
+// derived from the listen address.
+type NodeID uint32
+
+// NoNode is the zero NodeID sentinel used where "no node" must be expressed.
+// Valid node identifiers start at 1 so that the zero value of a NodeID field
+// is never a real node.
+const NoNode NodeID = 0
+
+// String implements fmt.Stringer.
+func (id NodeID) String() string {
+	if id == NoNode {
+		return "n∅"
+	}
+	return "n" + strconv.FormatUint(uint64(id), 10)
+}
+
+// Round is a gossip round number. Time is structured in rounds of fixed
+// duration (the gossip period, 1 s in the paper's deployment §VII-A);
+// round numbers start at 1.
+type Round uint64
+
+// String implements fmt.Stringer.
+func (r Round) String() string { return "r" + strconv.FormatUint(uint64(r), 10) }
+
+// StreamID identifies a gossip session (one disseminated content). The
+// paper allows "several gossip sessions disseminating different contents"
+// to hold simultaneously (§III).
+type StreamID uint32
+
+// UpdateID identifies one update (data chunk) of a stream.
+type UpdateID struct {
+	Stream StreamID
+	Seq    uint64
+}
+
+// String implements fmt.Stringer.
+func (u UpdateID) String() string {
+	return fmt.Sprintf("u%d.%d", u.Stream, u.Seq)
+}
+
+// Less provides a total order on update identifiers, used to keep encoded
+// sets canonical (deterministic hashing and byte-exact bandwidth numbers).
+func (u UpdateID) Less(v UpdateID) bool {
+	if u.Stream != v.Stream {
+		return u.Stream < v.Stream
+	}
+	return u.Seq < v.Seq
+}
+
+// Quality is one rung of the paper's video-quality ladder (Table I).
+type Quality int
+
+// The quality ladder of Table I.
+const (
+	Quality144p Quality = iota + 1
+	Quality240p
+	Quality360p
+	Quality480p
+	Quality720p
+	Quality1080p
+)
+
+// qualityInfo describes one ladder rung.
+type qualityInfo struct {
+	name    string
+	payload int // Kbps, from Table I
+}
+
+var _qualities = map[Quality]qualityInfo{
+	Quality144p:  {"144p", 80},
+	Quality240p:  {"240p", 300},
+	Quality360p:  {"360p", 750},
+	Quality480p:  {"480p", 1000},
+	Quality720p:  {"720p", 2500},
+	Quality1080p: {"1080p", 4500},
+}
+
+// Qualities returns the full ladder in ascending order.
+func Qualities() []Quality {
+	return []Quality{
+		Quality144p, Quality240p, Quality360p,
+		Quality480p, Quality720p, Quality1080p,
+	}
+}
+
+// String implements fmt.Stringer.
+func (q Quality) String() string {
+	if info, ok := _qualities[q]; ok {
+		return info.name
+	}
+	return "q?" + strconv.Itoa(int(q))
+}
+
+// PayloadKbps returns the stream bitrate of the quality in Kbps (Table I,
+// "Payload size" row). It returns 0 for an unknown quality.
+func (q Quality) PayloadKbps() int {
+	return _qualities[q].payload
+}
+
+// Valid reports whether q is one of the ladder rungs.
+func (q Quality) Valid() bool {
+	_, ok := _qualities[q]
+	return ok
+}
+
+// Paper-wide workload constants (§VII-A, "Real deployment settings").
+const (
+	// UpdateBytes is the size of one update: "updates of 938B are
+	// released 10 seconds before being consumed".
+	UpdateBytes = 938
+
+	// WindowUpdates is the source packet grouping: "A source groups
+	// packets in windows of 40 packets".
+	WindowUpdates = 40
+
+	// PlayoutDelayRounds is the number of rounds between the release of
+	// an update and its playback deadline (10 s at 1 s per round).
+	PlayoutDelayRounds = 10
+
+	// RoundDuration is the gossip period in seconds.
+	RoundDurationSeconds = 1
+)
+
+// UpdatesPerSecond returns how many 938-byte updates per second a stream of
+// the given bitrate (Kbps) produces. This is the quantity that drives the
+// homomorphic-hash counts of Table I.
+func UpdatesPerSecond(payloadKbps int) int {
+	bytesPerSecond := payloadKbps * 1000 / 8
+	n := bytesPerSecond / UpdateBytes
+	if n < 1 && payloadKbps > 0 {
+		n = 1
+	}
+	return n
+}
+
+// FanoutFor returns the dissemination fanout (= number of successors,
+// predecessors and monitors per node) the paper uses for a system of n
+// nodes: "each user has log(N) successors" (§VII-D), "e.g., 3 when the
+// system contains 1000 nodes" (§VII-A) — i.e. ⌈log10 N⌉ with a floor of 3,
+// the minimum the privacy proof supports (§VI-A).
+func FanoutFor(n int) int {
+	f := 0
+	for v := n; v > 1; v /= 10 {
+		f++
+	}
+	if f < 3 {
+		f = 3
+	}
+	return f
+}

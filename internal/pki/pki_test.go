@@ -1,0 +1,290 @@
+package pki
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// suites returns both suite implementations so every behavioural test runs
+// against each (size parity between them is itself a tested property).
+func suites(t *testing.T) map[string]Suite {
+	t.Helper()
+	return map[string]Suite{
+		"rsa":  NewRSASuite(1024), // small keys keep tests fast
+		"fast": NewFastSuite(),
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	for name, s := range suites(t) {
+		t.Run(name, func(t *testing.T) {
+			id, err := s.NewIdentity(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("Serve, R, A, B, ...")
+			sig, err := id.Sign(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sig) != s.SignatureSize() {
+				t.Fatalf("signature %d bytes, want %d", len(sig), s.SignatureSize())
+			}
+			if err := s.Verify(1, msg, sig); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	for name, s := range suites(t) {
+		t.Run(name, func(t *testing.T) {
+			id, _ := s.NewIdentity(1)
+			msg := []byte("original")
+			sig, _ := id.Sign(msg)
+			if err := s.Verify(1, []byte("tampered"), sig); !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("tampered message: err = %v, want ErrBadSignature", err)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	for name, s := range suites(t) {
+		t.Run(name, func(t *testing.T) {
+			id, _ := s.NewIdentity(1)
+			msg := []byte("message")
+			sig, _ := id.Sign(msg)
+			sig[0] ^= 0xFF
+			if err := s.Verify(1, msg, sig); !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("tampered signature: err = %v", err)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsWrongSigner(t *testing.T) {
+	for name, s := range suites(t) {
+		t.Run(name, func(t *testing.T) {
+			a, _ := s.NewIdentity(1)
+			if _, err := s.NewIdentity(2); err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("message")
+			sig, _ := a.Sign(msg)
+			if err := s.Verify(2, msg, sig); !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("wrong signer: err = %v", err)
+			}
+		})
+	}
+}
+
+func TestVerifyUnknownNode(t *testing.T) {
+	for name, s := range suites(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Verify(99, []byte("m"), []byte("sig")); !errors.Is(err, ErrUnknownNode) {
+				t.Fatalf("err = %v, want ErrUnknownNode", err)
+			}
+			if _, err := s.Encrypt(99, []byte("m")); !errors.Is(err, ErrUnknownNode) {
+				t.Fatalf("Encrypt err = %v, want ErrUnknownNode", err)
+			}
+		})
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	for name, s := range suites(t) {
+		t.Run(name, func(t *testing.T) {
+			id, _ := s.NewIdentity(1)
+			msg := bytes.Repeat([]byte{0xAB}, model.UpdateBytes) // update-sized
+			ct, err := s.Encrypt(1, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := len(ct)-len(msg), s.CiphertextOverhead(); got != want {
+				t.Fatalf("ciphertext overhead %d, want %d", got, want)
+			}
+			pt, err := id.Decrypt(ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(pt, msg) {
+				t.Fatal("round-trip mismatch")
+			}
+		})
+	}
+}
+
+func TestDecryptRejectsTampering(t *testing.T) {
+	for name, s := range suites(t) {
+		t.Run(name, func(t *testing.T) {
+			id, _ := s.NewIdentity(1)
+			ct, _ := s.Encrypt(1, []byte("private update"))
+			ct[len(ct)-1] ^= 0x01
+			if _, err := id.Decrypt(ct); !errors.Is(err, ErrBadCiphertext) {
+				t.Fatalf("err = %v, want ErrBadCiphertext", err)
+			}
+		})
+	}
+}
+
+func TestDecryptRejectsShortCiphertext(t *testing.T) {
+	for name, s := range suites(t) {
+		t.Run(name, func(t *testing.T) {
+			id, _ := s.NewIdentity(1)
+			if _, err := id.Decrypt([]byte{1, 2, 3}); !errors.Is(err, ErrBadCiphertext) {
+				t.Fatalf("err = %v, want ErrBadCiphertext", err)
+			}
+		})
+	}
+}
+
+func TestDecryptWrongRecipient(t *testing.T) {
+	for name, s := range suites(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.NewIdentity(1); err != nil {
+				t.Fatal(err)
+			}
+			b, _ := s.NewIdentity(2)
+			ct, _ := s.Encrypt(1, []byte("for node 1 only"))
+			if _, err := b.Decrypt(ct); err == nil {
+				t.Fatal("node 2 decrypted node 1's ciphertext")
+			}
+		})
+	}
+}
+
+func TestNoNodeIdentityRejected(t *testing.T) {
+	for name, s := range suites(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.NewIdentity(model.NoNode); err == nil {
+				t.Fatal("NoNode identity accepted")
+			}
+		})
+	}
+}
+
+// TestSizeParity is the property the FastSuite substitution rests on: both
+// suites must produce identical signature sizes and ciphertext overheads,
+// because the paper's headline metric is bandwidth.
+func TestSizeParity(t *testing.T) {
+	real := NewRSASuite(DefaultRSABits)
+	fast := NewFastSuite()
+	if real.SignatureSize() != fast.SignatureSize() {
+		t.Fatalf("signature sizes differ: %d vs %d",
+			real.SignatureSize(), fast.SignatureSize())
+	}
+	if real.CiphertextOverhead() != fast.CiphertextOverhead() {
+		t.Fatalf("ciphertext overheads differ: %d vs %d",
+			real.CiphertextOverhead(), fast.CiphertextOverhead())
+	}
+	// Paper: "Signatures are generated using RSA-2048" → 256 bytes.
+	if real.SignatureSize() != 256 {
+		t.Fatalf("RSA-2048 signature = %d bytes, want 256", real.SignatureSize())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := NewFastSuite()
+	id, _ := s.NewIdentity(1)
+	ops := id.Counter()
+
+	if _, err := id.Sign([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if got := ops.Signs(); got != 1 {
+		t.Fatalf("Signs = %d, want 1", got)
+	}
+
+	sig, _ := id.Sign([]byte("m2"))
+	if err := VerifyCounted(s, ops, 1, []byte("m2"), sig); err != nil {
+		t.Fatal(err)
+	}
+	if got := ops.Verifies(); got != 1 {
+		t.Fatalf("Verifies = %d, want 1", got)
+	}
+
+	ct, err := EncryptCounted(s, ops, 1, []byte("m3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ops.Encrypts(); got != 1 {
+		t.Fatalf("Encrypts = %d, want 1", got)
+	}
+	if _, err := id.Decrypt(ct); err != nil {
+		t.Fatal(err)
+	}
+	if got := ops.Decrypts(); got != 1 {
+		t.Fatalf("Decrypts = %d, want 1", got)
+	}
+
+	ops.Reset()
+	if ops.Signs()+ops.Verifies()+ops.Encrypts()+ops.Decrypts() != 0 {
+		t.Fatal("Reset failed")
+	}
+
+	var nilC *Counter
+	if nilC.Signs()+nilC.Verifies()+nilC.Encrypts()+nilC.Decrypts() != 0 {
+		t.Fatal("nil counter should read zero")
+	}
+	nilC.Reset()
+}
+
+func TestSuiteNames(t *testing.T) {
+	if got := NewRSASuite(2048).Name(); got != "rsa-2048" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := NewFastSuite().Name(); got != "fast" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestEmptyMessageEncrypt(t *testing.T) {
+	for name, s := range suites(t) {
+		t.Run(name, func(t *testing.T) {
+			id, _ := s.NewIdentity(1)
+			ct, err := s.Encrypt(1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt, err := id.Decrypt(ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pt) != 0 {
+				t.Fatalf("decrypted %d bytes, want 0", len(pt))
+			}
+		})
+	}
+}
+
+func BenchmarkRSASign2048(b *testing.B) {
+	s := NewRSASuite(DefaultRSABits)
+	id, err := s.NewIdentity(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := id.Sign(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFastSign(b *testing.B) {
+	s := NewFastSuite()
+	id, _ := s.NewIdentity(1)
+	msg := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := id.Sign(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

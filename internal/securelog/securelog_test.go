@@ -1,0 +1,202 @@
+package securelog
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/pki"
+)
+
+func TestAppendAndChain(t *testing.T) {
+	l := New(1)
+	if l.Owner() != 1 || l.Len() != 0 || l.HeadSeq() != 0 {
+		t.Fatal("fresh log state wrong")
+	}
+	e1 := l.Append(1, EntryRecv, 2, []byte("u1"))
+	e2 := l.Append(1, EntrySend, 3, []byte("u1"))
+	if e1.Seq != 1 || e2.Seq != 2 {
+		t.Fatalf("seqs %d %d", e1.Seq, e2.Seq)
+	}
+	if l.Head() != e2.Hash {
+		t.Fatal("head not the latest entry hash")
+	}
+	if err := VerifyChain(0, [HashSize]byte{}, l.Since(0)); err != nil {
+		t.Fatalf("VerifyChain on honest log: %v", err)
+	}
+}
+
+func TestSinceSuffix(t *testing.T) {
+	l := New(1)
+	for i := 0; i < 5; i++ {
+		l.Append(model.Round(i), EntryRecv, 2, []byte{byte(i)})
+	}
+	suffix := l.Since(3)
+	if len(suffix) != 2 || suffix[0].Seq != 4 {
+		t.Fatalf("suffix %v", suffix)
+	}
+	// Suffix verifies against the base hash at seq 3.
+	base, ok := l.EntryAt(3)
+	if !ok {
+		t.Fatal("EntryAt(3) missing")
+	}
+	if err := VerifyChain(3, base.Hash, suffix); err != nil {
+		t.Fatalf("suffix verification: %v", err)
+	}
+}
+
+func TestEntryAtBounds(t *testing.T) {
+	l := New(1)
+	l.Append(1, EntryRecv, 2, nil)
+	if _, ok := l.EntryAt(0); ok {
+		t.Fatal("seq 0 exists")
+	}
+	if _, ok := l.EntryAt(2); ok {
+		t.Fatal("seq 2 exists")
+	}
+	if _, ok := l.EntryAt(1); !ok {
+		t.Fatal("seq 1 missing")
+	}
+}
+
+func TestSinceReturnsCopies(t *testing.T) {
+	l := New(1)
+	l.Append(1, EntryRecv, 2, []byte("abc"))
+	got := l.Since(0)
+	got[0].Content[0] = 'Z'
+	if string(l.Since(0)[0].Content) != "abc" {
+		t.Fatal("Since aliases log content")
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	l := New(1)
+	l.Append(1, EntryRecv, 2, []byte("received u1"))
+	l.Append(1, EntrySend, 3, []byte("sent u1"))
+	l.Append(2, EntrySend, 4, []byte("sent u1"))
+
+	// A selfish node rewrites history: claims it sent something else.
+	if !l.Tamper(2, []byte("sent u1,u2")) {
+		t.Fatal("Tamper failed")
+	}
+	err := VerifyChain(0, [HashSize]byte{}, l.Since(0))
+	if err == nil {
+		t.Fatal("tampered log verified")
+	}
+}
+
+func TestTamperOutOfRange(t *testing.T) {
+	l := New(1)
+	if l.Tamper(1, nil) {
+		t.Fatal("tampering empty log succeeded")
+	}
+}
+
+func TestVerifyChainSeqGap(t *testing.T) {
+	l := New(1)
+	l.Append(1, EntryRecv, 2, []byte("a"))
+	l.Append(1, EntryRecv, 2, []byte("b"))
+	l.Append(1, EntryRecv, 2, []byte("c"))
+	entries := l.Since(0)
+	// Drop the middle entry: omission must be detected.
+	gapped := []Entry{entries[0], entries[2]}
+	if err := VerifyChain(0, [HashSize]byte{}, gapped); err == nil {
+		t.Fatal("omitted entry went undetected")
+	}
+}
+
+func TestChainHashPropertyDistinct(t *testing.T) {
+	f := func(c1, c2 []byte) bool {
+		if string(c1) == string(c2) {
+			return true
+		}
+		l1, l2 := New(1), New(1)
+		e1 := l1.Append(1, EntryRecv, 2, c1)
+		e2 := l2.Append(1, EntryRecv, 2, c2)
+		return e1.Hash != e2.Hash
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthenticator(t *testing.T) {
+	suite := pki.NewFastSuite()
+	id, err := suite.NewIdentity(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New(1)
+	l.Append(1, EntryRecv, 2, []byte("u1"))
+
+	a, err := l.Authenticate(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seq != 1 || a.Node != 1 {
+		t.Fatalf("authenticator %+v", a)
+	}
+	if err := VerifyAuthenticator(suite, a); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Forged head must fail.
+	a.Head[0] ^= 1
+	if err := VerifyAuthenticator(suite, a); err == nil {
+		t.Fatal("forged authenticator verified")
+	}
+}
+
+func TestForkDetection(t *testing.T) {
+	suite := pki.NewFastSuite()
+	id, _ := suite.NewIdentity(1)
+
+	// The node presents one history to auditor X...
+	l1 := New(1)
+	l1.Append(1, EntrySend, 2, []byte("sent u1"))
+	a1, _ := l1.Authenticate(id)
+
+	// ...and a different history to auditor Y (equivocation).
+	l2 := New(1)
+	l2.Append(1, EntrySend, 2, []byte("sent nothing"))
+	a2, _ := l2.Authenticate(id)
+
+	if err := CheckFork(a1, a2); !errors.Is(err, ErrFork) {
+		t.Fatalf("fork not detected: %v", err)
+	}
+
+	// Same history: no fork.
+	a3, _ := l1.Authenticate(id)
+	if err := CheckFork(a1, a3); err != nil {
+		t.Fatalf("false fork: %v", err)
+	}
+
+	// Different nodes cannot be compared.
+	a4 := a2
+	a4.Node = 9
+	if err := CheckFork(a1, a4); err == nil || errors.Is(err, ErrFork) {
+		t.Fatalf("cross-node comparison: %v", err)
+	}
+}
+
+func TestForkDifferentSeqNoConflict(t *testing.T) {
+	suite := pki.NewFastSuite()
+	id, _ := suite.NewIdentity(1)
+	l := New(1)
+	l.Append(1, EntrySend, 2, []byte("a"))
+	a1, _ := l.Authenticate(id)
+	l.Append(1, EntrySend, 3, []byte("b"))
+	a2, _ := l.Authenticate(id)
+	if err := CheckFork(a1, a2); err != nil {
+		t.Fatalf("prefix authenticators flagged as fork: %v", err)
+	}
+}
+
+func TestEntryTypeString(t *testing.T) {
+	if EntryRecv.String() != "RCV" || EntrySend.String() != "SND" {
+		t.Fatal("entry type strings wrong")
+	}
+	if EntryType(9).String() == "" {
+		t.Fatal("unknown type should still print")
+	}
+}

@@ -1,0 +1,157 @@
+// Package sim drives round-phased protocol nodes over the in-memory
+// network: it is the reproduction's OMNeT++ analogue (§VII-A, "Simulations
+// settings"). The engine advances rounds in four phases with full message
+// delivery between them, keeping every run deterministic under a fixed
+// seed, and collects the per-node bandwidth statistics the paper plots.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Protocol is a round-phased protocol node. PAG nodes, AcTinG nodes and
+// RAC nodes all implement it.
+type Protocol interface {
+	// ID returns the node's identifier.
+	ID() model.NodeID
+	// BeginRound opens a round (send opening messages).
+	BeginRound(r model.Round)
+	// MidRound runs after the exchange traffic quiesced (monitor
+	// reports, accusations, audits).
+	MidRound(r model.Round)
+	// EndRound runs verification passes (may open investigations).
+	EndRound(r model.Round)
+	// CloseRound judges, delivers to the application and cleans up.
+	CloseRound(r model.Round)
+}
+
+// RoundHook runs at the start of each round, before nodes act — the
+// source's injection point.
+type RoundHook func(r model.Round)
+
+// Engine coordinates nodes and the network.
+type Engine struct {
+	net   *transport.MemNet
+	nodes []Protocol
+	round model.Round
+	hooks []RoundHook
+
+	// measuring controls whether per-round traffic is being recorded.
+	baseline map[model.NodeID]transport.Traffic
+	measured model.Round // rounds measured so far
+}
+
+// NewEngine creates an engine over a MemNet.
+func NewEngine(net *transport.MemNet) *Engine {
+	return &Engine{net: net}
+}
+
+// Add registers a protocol node; nodes act in registration order, which
+// must therefore be deterministic for reproducible runs.
+func (e *Engine) Add(p Protocol) { e.nodes = append(e.nodes, p) }
+
+// Nodes returns the registered node count.
+func (e *Engine) Nodes() int { return len(e.nodes) }
+
+// Round returns the last completed round (0 before the first).
+func (e *Engine) Round() model.Round { return e.round }
+
+// OnRoundStart registers a hook invoked at the top of every round.
+func (e *Engine) OnRoundStart(h RoundHook) { e.hooks = append(e.hooks, h) }
+
+// RunRound advances one round through the four phases, delivering all
+// pending traffic between phases.
+func (e *Engine) RunRound() {
+	r := e.round + 1
+	for _, h := range e.hooks {
+		h(r)
+	}
+	for _, n := range e.nodes {
+		n.BeginRound(r)
+	}
+	e.net.DeliverAll()
+	for _, n := range e.nodes {
+		n.MidRound(r)
+	}
+	e.net.DeliverAll()
+	for _, n := range e.nodes {
+		n.EndRound(r)
+	}
+	e.net.DeliverAll()
+	for _, n := range e.nodes {
+		n.CloseRound(r)
+	}
+	e.net.DeliverAll()
+	e.round = r
+	if e.baseline != nil {
+		e.measured++
+	}
+}
+
+// Run advances n rounds.
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.RunRound()
+	}
+}
+
+// StartMeasuring snapshots traffic counters; bandwidth statistics cover
+// the rounds run afterwards (warm-up rounds are thereby excluded, as in
+// the paper's steady-state measurements).
+func (e *Engine) StartMeasuring() {
+	e.baseline = make(map[model.NodeID]transport.Traffic, len(e.nodes))
+	for _, n := range e.nodes {
+		e.baseline[n.ID()] = e.net.TrafficOf(n.ID())
+	}
+	e.measured = 0
+}
+
+// NodeBandwidthKbps returns one node's average bandwidth over the measured
+// window in kbps. Each round is one second (§VII-A), and the per-node
+// consumption is the mean of upload and download (dissemination traffic is
+// symmetric in aggregate).
+func (e *Engine) NodeBandwidthKbps(id model.NodeID) float64 {
+	if e.measured == 0 {
+		return 0
+	}
+	tr := e.net.TrafficOf(id)
+	if base, ok := e.baseline[id]; ok {
+		tr = tr.Sub(base)
+	}
+	bytes := float64(tr.BytesIn+tr.BytesOut) / 2
+	seconds := float64(e.measured) * model.RoundDurationSeconds
+	return bytes * 8 / 1000 / seconds
+}
+
+// BandwidthSample returns the per-node bandwidth distribution over the
+// measured window, excluding the listed nodes (the source is conventionally
+// excluded, as its upload profile is not a client's).
+func (e *Engine) BandwidthSample(exclude ...model.NodeID) stats.Sample {
+	skip := make(map[model.NodeID]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	xs := make([]float64, 0, len(e.nodes))
+	ids := make([]model.NodeID, 0, len(e.nodes))
+	for _, n := range e.nodes {
+		ids = append(ids, n.ID())
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if skip[id] {
+			continue
+		}
+		xs = append(xs, e.NodeBandwidthKbps(id))
+	}
+	return stats.NewSample(xs)
+}
+
+// String summarises engine state.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{nodes: %d, round: %v}", len(e.nodes), e.round)
+}

@@ -1,0 +1,114 @@
+package streaming
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/update"
+)
+
+type fakeSigner struct{}
+
+func (fakeSigner) Sign(msg []byte) ([]byte, error) { return []byte{1}, nil }
+
+type fakeInjector struct{ got []update.Update }
+
+func (f *fakeInjector) InjectUpdates(us []update.Update) { f.got = append(f.got, us...) }
+
+func TestSourceRate(t *testing.T) {
+	inj := &fakeInjector{}
+	// 300 kbps at 938 B/update → 39 updates/round (the paper's 240p).
+	s, err := NewSource(0, fakeSigner{}, inj, 300, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PerRound() != 39 {
+		t.Fatalf("PerRound = %d, want 39", s.PerRound())
+	}
+	if err := s.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.got) != 39 || s.Emitted() != 39 {
+		t.Fatalf("injected %d, emitted %d", len(inj.got), s.Emitted())
+	}
+	if len(inj.got[0].Payload) != model.UpdateBytes {
+		t.Fatalf("payload %d bytes", len(inj.got[0].Payload))
+	}
+	if inj.got[0].Deadline != 1+model.PlayoutDelayRounds {
+		t.Fatalf("deadline %v", inj.got[0].Deadline)
+	}
+}
+
+func TestSourceTinyBitrateStillEmits(t *testing.T) {
+	inj := &fakeInjector{}
+	s, err := NewSource(0, fakeSigner{}, inj, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PerRound() != 1 {
+		t.Fatalf("PerRound = %d", s.PerRound())
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	if _, err := NewSource(0, fakeSigner{}, nil, 300, 0, 0); err == nil {
+		t.Fatal("nil target accepted")
+	}
+	if _, err := NewSource(0, fakeSigner{}, &fakeInjector{}, 0, 0, 0); err == nil {
+		t.Fatal("zero bitrate accepted")
+	}
+}
+
+func mkU(seq uint64) update.Update {
+	return update.Update{ID: model.UpdateID{Stream: 0, Seq: seq}}
+}
+
+func TestPlayerContinuity(t *testing.T) {
+	p := NewPlayer(0)
+	for _, seq := range []uint64{0, 1, 2, 4} { // gap at 3
+		p.OnDeliver(mkU(seq))
+	}
+	if p.Delivered() != 4 {
+		t.Fatalf("Delivered = %d", p.Delivered())
+	}
+	if got := p.ContinuityRatio(5); got != 0.8 {
+		t.Fatalf("ContinuityRatio = %v", got)
+	}
+	if got := p.ContinuityRatio(0); got != 0 {
+		t.Fatalf("empty ratio = %v", got)
+	}
+}
+
+func TestPlayerIgnoresOtherStreams(t *testing.T) {
+	p := NewPlayer(0)
+	p.OnDeliver(update.Update{ID: model.UpdateID{Stream: 9, Seq: 0}})
+	if p.Delivered() != 0 {
+		t.Fatal("other stream delivered")
+	}
+}
+
+func TestPlayerDuplicates(t *testing.T) {
+	p := NewPlayer(0)
+	p.OnDeliver(mkU(1))
+	p.OnDeliver(mkU(1))
+	if p.Duplicates() != 1 || p.Delivered() != 1 {
+		t.Fatalf("dupes %d delivered %d", p.Duplicates(), p.Delivered())
+	}
+}
+
+func TestCompleteWindows(t *testing.T) {
+	p := NewPlayer(0)
+	// Deliver chunks 0..7 except 5: window [0,4) complete, [4,8) not.
+	for seq := uint64(0); seq < 8; seq++ {
+		if seq != 5 {
+			p.OnDeliver(mkU(seq))
+		}
+	}
+	complete, total := p.CompleteWindows(4, 8)
+	if total != 2 || complete != 1 {
+		t.Fatalf("windows %d/%d, want 1/2", complete, total)
+	}
+	if c, tot := p.CompleteWindows(0, 8); c != 0 || tot != 0 {
+		t.Fatal("zero window size should be empty")
+	}
+}

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// TCPNet is a real TCP transport implementing Network. Each registered node
+// listens on its address from the address book; outgoing connections are
+// dialed lazily and kept open. It backs the cluster-deployment analogue of
+// the paper's Grid'5000 experiment (48 machines × 9 instances, §VII-A).
+type TCPNet struct {
+	mu    sync.Mutex
+	book  map[model.NodeID]string
+	nodes map[model.NodeID]*tcpEndpoint
+	wg    sync.WaitGroup
+	done  chan struct{}
+}
+
+var _ Network = (*TCPNet)(nil)
+
+// NewTCPNet creates a TCP network over a static address book
+// (NodeID → "host:port").
+func NewTCPNet(book map[model.NodeID]string) *TCPNet {
+	cp := make(map[model.NodeID]string, len(book))
+	for id, addr := range book {
+		cp[id] = addr
+	}
+	return &TCPNet{
+		book:  cp,
+		nodes: make(map[model.NodeID]*tcpEndpoint),
+		done:  make(chan struct{}),
+	}
+}
+
+// Register implements Network: it starts listening on the node's book
+// address and serves inbound frames to the handler.
+func (t *TCPNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	addr, ok := t.book[id]
+	if !ok {
+		return nil, fmt.Errorf("transport: node %v not in address book", id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ep := &tcpEndpoint{
+		net:     t,
+		id:      id,
+		handler: h,
+		ln:      ln,
+		conns:   make(map[model.NodeID]net.Conn),
+	}
+	t.mu.Lock()
+	if _, dup := t.nodes[id]; dup {
+		t.mu.Unlock()
+		_ = ln.Close()
+		return nil, fmt.Errorf("transport: node %v already registered", id)
+	}
+	t.nodes[id] = ep
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		ep.acceptLoop()
+	}()
+	return ep, nil
+}
+
+// Close shuts down all listeners and connections and waits for goroutines.
+func (t *TCPNet) Close() error {
+	t.mu.Lock()
+	select {
+	case <-t.done:
+	default:
+		close(t.done)
+	}
+	eps := make([]*tcpEndpoint, 0, len(t.nodes))
+	for _, ep := range t.nodes {
+		eps = append(eps, ep)
+	}
+	t.mu.Unlock()
+	for _, ep := range eps {
+		ep.close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+type tcpEndpoint struct {
+	net     *TCPNet
+	id      model.NodeID
+	handler Handler
+	ln      net.Listener
+
+	mu    sync.Mutex
+	conns map[model.NodeID]net.Conn
+}
+
+func (e *tcpEndpoint) NodeID() model.NodeID { return e.id }
+
+// frame layout: from(4) to(4) kind(1) len(4) payload.
+const _tcpFrameHeader = 4 + 4 + 1 + 4
+
+// Send implements Endpoint.
+func (e *tcpEndpoint) Send(to model.NodeID, kind uint8, payload []byte) error {
+	conn, err := e.conn(to)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, _tcpFrameHeader+len(payload))
+	binary.BigEndian.PutUint32(frame[0:], uint32(e.id))
+	binary.BigEndian.PutUint32(frame[4:], uint32(to))
+	frame[8] = kind
+	binary.BigEndian.PutUint32(frame[9:], uint32(len(payload)))
+	copy(frame[_tcpFrameHeader:], payload)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := conn.Write(frame); err != nil {
+		delete(e.conns, to) // force re-dial next time
+		_ = conn.Close()
+		return fmt.Errorf("transport: write to %v: %w", to, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) conn(to model.NodeID) (net.Conn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.conns[to]; ok {
+		return c, nil
+	}
+	addr, ok := e.net.book[to]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown destination %v", to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %v (%s): %w", to, addr, err)
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.net.wg.Add(1)
+		go func() {
+			defer e.net.wg.Done()
+			e.readLoop(conn)
+		}()
+	}
+}
+
+// MaxTCPPayload bounds a single frame to keep a malformed peer from forcing
+// a huge allocation.
+const MaxTCPPayload = 16 << 20
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	header := make([]byte, _tcpFrameHeader)
+	for {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			return
+		}
+		from := model.NodeID(binary.BigEndian.Uint32(header[0:]))
+		to := model.NodeID(binary.BigEndian.Uint32(header[4:]))
+		kind := header[8]
+		n := binary.BigEndian.Uint32(header[9:])
+		if n > MaxTCPPayload || to != e.id {
+			return // protocol violation: drop the connection
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		select {
+		case <-e.net.done:
+			return
+		default:
+		}
+		e.handler(Message{From: from, To: to, Kind: kind, Payload: payload})
+	}
+}
+
+func (e *tcpEndpoint) close() {
+	_ = e.ln.Close()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id, c := range e.conns {
+		_ = c.Close()
+		delete(e.conns, id)
+	}
+}

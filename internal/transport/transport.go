@@ -1,0 +1,249 @@
+// Package transport provides the network substrates of the reproduction:
+//
+//   - MemNet: a deterministic in-memory network with per-node byte
+//     accounting, message loss and partitions. It plays the role of the
+//     paper's OMNeT++ simulation fabric: the measured quantity (per-node
+//     bandwidth in kbps) is derived from exact encoded wire sizes.
+//   - TCPNet (tcp.go): a real TCP transport used by the cluster-deployment
+//     analogue (cmd/pag-node, examples/tcp-cluster).
+//
+// Both implement the same Network interface, so protocol nodes are
+// transport-agnostic.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// HeaderBytes is the per-message framing overhead charged to the bandwidth
+// accounting: IP+UDP-sized header plus the (from, to, kind, length) frame.
+// The paper measures application-observable bandwidth, which includes
+// per-packet overhead of this magnitude.
+const HeaderBytes = 40
+
+// Message is one delivered datagram.
+type Message struct {
+	From    model.NodeID
+	To      model.NodeID
+	Kind    uint8
+	Payload []byte
+}
+
+// WireSize returns the accounted size of the message in bytes.
+func (m Message) WireSize() int { return HeaderBytes + len(m.Payload) }
+
+// Handler consumes delivered messages. Handlers may send further messages.
+type Handler func(Message)
+
+// Endpoint is a node's attachment to a network.
+type Endpoint interface {
+	// NodeID returns the attached node.
+	NodeID() model.NodeID
+	// Send transmits a message; payload is not retained.
+	Send(to model.NodeID, kind uint8, payload []byte) error
+}
+
+// Network registers endpoints.
+type Network interface {
+	Register(id model.NodeID, h Handler) (Endpoint, error)
+}
+
+// Traffic is a cumulative per-node traffic counter snapshot.
+type Traffic struct {
+	BytesIn  uint64
+	BytesOut uint64
+	MsgsIn   uint64
+	MsgsOut  uint64
+}
+
+// Add accumulates o into t.
+func (t *Traffic) Add(o Traffic) {
+	t.BytesIn += o.BytesIn
+	t.BytesOut += o.BytesOut
+	t.MsgsIn += o.MsgsIn
+	t.MsgsOut += o.MsgsOut
+}
+
+// Sub returns t - o (component-wise), for per-round deltas.
+func (t Traffic) Sub(o Traffic) Traffic {
+	return Traffic{
+		BytesIn:  t.BytesIn - o.BytesIn,
+		BytesOut: t.BytesOut - o.BytesOut,
+		MsgsIn:   t.MsgsIn - o.MsgsIn,
+		MsgsOut:  t.MsgsOut - o.MsgsOut,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// MemNet
+// ---------------------------------------------------------------------------
+
+// DropFunc decides whether a message is dropped (fault injection).
+type DropFunc func(Message) bool
+
+// MemNet is the in-memory simulated network. Delivery is explicit: queued
+// messages are handed to handlers when the simulation engine calls
+// DeliverPending/DeliverAll, which keeps rounds deterministic.
+type MemNet struct {
+	mu       sync.Mutex
+	handlers map[model.NodeID]Handler
+	queue    []Message
+	traffic  map[model.NodeID]*Traffic
+	drop     DropFunc
+	dropped  uint64
+}
+
+var _ Network = (*MemNet)(nil)
+
+// NewMemNet creates an empty in-memory network.
+func NewMemNet() *MemNet {
+	return &MemNet{
+		handlers: make(map[model.NodeID]Handler),
+		traffic:  make(map[model.NodeID]*Traffic),
+	}
+}
+
+// Register implements Network.
+func (n *MemNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
+	if id == model.NoNode {
+		return nil, errors.New("transport: cannot register NoNode")
+	}
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.handlers[id]; ok {
+		return nil, fmt.Errorf("transport: node %v already registered", id)
+	}
+	n.handlers[id] = h
+	n.traffic[id] = &Traffic{}
+	return &memEndpoint{net: n, id: id}, nil
+}
+
+// SetDropFunc installs a fault-injection predicate (nil to clear). Dropped
+// messages are charged to the sender (the bytes left the NIC) but not the
+// receiver.
+func (n *MemNet) SetDropFunc(f DropFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.drop = f
+}
+
+// Dropped returns how many messages the drop predicate discarded.
+func (n *MemNet) Dropped() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}
+
+// PendingCount returns the number of queued, undelivered messages.
+func (n *MemNet) PendingCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}
+
+// send enqueues a message, charging the sender immediately.
+func (n *MemNet) send(msg Message) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.handlers[msg.To]; !ok {
+		return fmt.Errorf("transport: unknown destination %v", msg.To)
+	}
+	tr := n.traffic[msg.From]
+	tr.BytesOut += uint64(msg.WireSize())
+	tr.MsgsOut++
+	if n.drop != nil && n.drop(msg) {
+		n.dropped++
+		return nil
+	}
+	n.queue = append(n.queue, msg)
+	return nil
+}
+
+// DeliverPending delivers the currently queued messages (a snapshot —
+// messages sent by handlers during delivery are queued for the next wave)
+// and returns how many were delivered.
+func (n *MemNet) DeliverPending() int {
+	n.mu.Lock()
+	batch := n.queue
+	n.queue = nil
+	n.mu.Unlock()
+
+	for _, msg := range batch {
+		n.mu.Lock()
+		h := n.handlers[msg.To]
+		tr := n.traffic[msg.To]
+		tr.BytesIn += uint64(msg.WireSize())
+		tr.MsgsIn++
+		n.mu.Unlock()
+		if h != nil {
+			h(msg)
+		}
+	}
+	return len(batch)
+}
+
+// DeliverAll delivers waves until the queue drains, with a generous safety
+// cap against protocol livelock. It returns the total delivered.
+func (n *MemNet) DeliverAll() int {
+	const maxWaves = 64
+	total := 0
+	for wave := 0; wave < maxWaves; wave++ {
+		d := n.DeliverPending()
+		total += d
+		if d == 0 {
+			return total
+		}
+	}
+	return total
+}
+
+// TrafficOf returns the cumulative traffic snapshot of a node.
+func (n *MemNet) TrafficOf(id model.NodeID) Traffic {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t, ok := n.traffic[id]; ok {
+		return *t
+	}
+	return Traffic{}
+}
+
+// TotalTraffic sums all per-node counters.
+func (n *MemNet) TotalTraffic() Traffic {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total Traffic
+	for _, t := range n.traffic {
+		total.Add(*t)
+	}
+	return total
+}
+
+// ResetTraffic zeroes all counters (e.g. after a warm-up phase).
+func (n *MemNet) ResetTraffic() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.traffic {
+		n.traffic[id] = &Traffic{}
+	}
+	n.dropped = 0
+}
+
+type memEndpoint struct {
+	net *MemNet
+	id  model.NodeID
+}
+
+func (e *memEndpoint) NodeID() model.NodeID { return e.id }
+
+func (e *memEndpoint) Send(to model.NodeID, kind uint8, payload []byte) error {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	return e.net.send(Message{From: e.id, To: to, Kind: kind, Payload: cp})
+}

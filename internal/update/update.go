@@ -1,0 +1,318 @@
+// Package update models the disseminated data chunks ("updates") of a
+// gossip session and the per-node update store: reception multiplicities
+// (§V-D "Multiple receptions"), buffermap windows (§V-D "Buffermap
+// transmissions") and expiration (§V-D "Expiration of updates").
+package update
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Update is one data chunk. "Each content is generated and signed by its
+// source. Updates are propagated along with their signature so that they
+// can be verified by the nodes upon reception, which prevents data
+// tampering" (§III).
+type Update struct {
+	ID       model.UpdateID
+	Deadline model.Round // round after which the update must stop propagating
+	Payload  []byte
+	SrcSig   []byte // source signature over CanonicalBytes
+}
+
+// CanonicalBytes returns the deterministic encoding that the source signs
+// and that the homomorphic hash embeds. Two updates with equal canonical
+// bytes are the same update.
+func (u *Update) CanonicalBytes() []byte {
+	out := make([]byte, 0, 4+8+8+4+len(u.Payload))
+	out = binary.BigEndian.AppendUint32(out, uint32(u.ID.Stream))
+	out = binary.BigEndian.AppendUint64(out, u.ID.Seq)
+	out = binary.BigEndian.AppendUint64(out, uint64(u.Deadline))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(u.Payload)))
+	out = append(out, u.Payload...)
+	return out
+}
+
+// Expired reports whether the update must no longer be forwarded at the
+// given round.
+func (u *Update) Expired(r model.Round) bool { return u.Deadline < r }
+
+// ExpiresNextRound reports whether a node forwarding at round r must place
+// the update in the "do not re-forward" list (§V-D): the receiver would
+// only forward it at r+1, when it is already expired.
+func (u *Update) ExpiresNextRound(r model.Round) bool { return u.Deadline < r+1 }
+
+// Entry is one stored update with its reception bookkeeping.
+type Entry struct {
+	Update Update
+	// Received is the round the update was first accepted.
+	Received model.Round
+	// Count is the total reception multiplicity: the sum of the
+	// multiplicity integers joined to every Serve that carried the
+	// update (§V-D). The obligation hash uses u^Count.
+	Count uint64
+	// Forwardable records whether the update arrived on the forwardable
+	// list (it must be re-forwarded) or the expiring list.
+	Forwardable bool
+	// Delivered marks handoff to the application (media player).
+	Delivered bool
+}
+
+// Store is a single node's update store. It is not safe for concurrent use;
+// protocol nodes are single-threaded within a round.
+type Store struct {
+	byID    map[model.UpdateID]*Entry
+	byRound map[model.Round][]model.UpdateID // reception round index
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{
+		byID:    make(map[model.UpdateID]*Entry),
+		byRound: make(map[model.Round][]model.UpdateID),
+	}
+}
+
+// Len returns the number of stored updates.
+func (s *Store) Len() int { return len(s.byID) }
+
+// Has reports whether the update is stored.
+func (s *Store) Has(id model.UpdateID) bool {
+	_, ok := s.byID[id]
+	return ok
+}
+
+// Get returns the entry for id, or nil.
+func (s *Store) Get(id model.UpdateID) *Entry { return s.byID[id] }
+
+// Add records the reception of u at round r with multiplicity count.
+// If the update is already stored only the multiplicity is accumulated
+// (and Forwardable widened), matching the paper's accounting: the node
+// still owes u^count to its monitors even for duplicates. It returns true
+// when the update was new.
+func (s *Store) Add(u Update, r model.Round, count uint64, forwardable bool) bool {
+	if count == 0 {
+		count = 1
+	}
+	if e, ok := s.byID[u.ID]; ok {
+		e.Count += count
+		if forwardable {
+			e.Forwardable = true
+		}
+		return false
+	}
+	s.byID[u.ID] = &Entry{
+		Update:      u,
+		Received:    r,
+		Count:       count,
+		Forwardable: forwardable,
+	}
+	s.byRound[r] = append(s.byRound[r], u.ID)
+	return true
+}
+
+// ReceivedIn returns the entries first received during round r, in
+// canonical (UpdateID) order — the set S_X a node must forward at r+1.
+func (s *Store) ReceivedIn(r model.Round) []*Entry {
+	ids := s.byRound[r]
+	out := make([]*Entry, 0, len(ids))
+	for _, id := range ids {
+		if e, ok := s.byID[id]; ok {
+			out = append(out, e)
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// OwnedInWindow returns entries received in rounds (r-window, r], in
+// canonical order: the buffermap source set. The paper found hashing "the
+// updates of the last 4 rounds" optimal (§V-D).
+func (s *Store) OwnedInWindow(r model.Round, window int) []*Entry {
+	var out []*Entry
+	for back := 0; back < window; back++ {
+		if back > int(r) {
+			break
+		}
+		rr := r - model.Round(back)
+		for _, id := range s.byRound[rr] {
+			if e, ok := s.byID[id]; ok {
+				out = append(out, e)
+			}
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// Undelivered returns stored entries not yet handed to the application
+// whose deadline is at or before r (ready for playback), in ID order.
+func (s *Store) Undelivered(r model.Round) []*Entry {
+	var out []*Entry
+	for _, e := range s.byID {
+		if !e.Delivered && e.Update.Deadline <= r {
+			out = append(out, e)
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// DropBefore removes updates received strictly before round r, returning
+// how many were dropped. Callers garbage-collect with a retention of a few
+// playout windows.
+func (s *Store) DropBefore(r model.Round) int {
+	dropped := 0
+	for rr, ids := range s.byRound {
+		if rr >= r {
+			continue
+		}
+		for _, id := range ids {
+			delete(s.byID, id)
+			dropped++
+		}
+		delete(s.byRound, rr)
+	}
+	return dropped
+}
+
+func sortEntries(es []*Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		return es[i].Update.ID.Less(es[j].Update.ID)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Buffermap
+// ---------------------------------------------------------------------------
+
+// BufferMap is the privacy-preserving ownership hint of §V-D: the
+// homomorphic hashes, under the responder's fresh prime, of the updates it
+// owns in the window. The requester matches by hashing its own candidates
+// under the same prime — neither side reveals identifiers in clear to the
+// monitors.
+type BufferMap struct {
+	hashes map[string]struct{}
+}
+
+// NewBufferMap builds a BufferMap from encoded hash values.
+func NewBufferMap(encodedHashes [][]byte) BufferMap {
+	m := make(map[string]struct{}, len(encodedHashes))
+	for _, h := range encodedHashes {
+		m[string(h)] = struct{}{}
+	}
+	return BufferMap{hashes: m}
+}
+
+// Len returns the number of hashes in the map.
+func (b BufferMap) Len() int { return len(b.hashes) }
+
+// Contains reports whether the encoded hash is present.
+func (b BufferMap) Contains(encodedHash []byte) bool {
+	if b.hashes == nil {
+		return false
+	}
+	_, ok := b.hashes[string(encodedHash)]
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding split (§V-D, expiration)
+// ---------------------------------------------------------------------------
+
+// ForwardSplit partitions the entries a node must forward at round r into
+// the expiring list (acknowledged but not re-forwarded by the receiver)
+// and the forwardable list.
+func ForwardSplit(entries []*Entry, r model.Round) (expiring, forwardable []*Entry) {
+	for _, e := range entries {
+		if e.Update.Expired(r) {
+			continue // already past deadline: not even served
+		}
+		if e.Update.ExpiresNextRound(r) {
+			expiring = append(expiring, e)
+		} else {
+			forwardable = append(forwardable, e)
+		}
+	}
+	return expiring, forwardable
+}
+
+// ---------------------------------------------------------------------------
+// Source-side generation
+// ---------------------------------------------------------------------------
+
+// Signer abstracts the source identity (avoids importing pki here).
+type Signer interface {
+	Sign(msg []byte) ([]byte, error)
+}
+
+// Generator mints the updates of one stream at the source.
+type Generator struct {
+	stream  model.StreamID
+	signer  Signer
+	payload int
+	ttl     model.Round
+	nextSeq uint64
+}
+
+// NewGenerator creates a source-side generator: payloadBytes per update
+// (938 in the paper) and ttl rounds of life (the 10 s playout delay).
+func NewGenerator(stream model.StreamID, signer Signer, payloadBytes int, ttl model.Round) (*Generator, error) {
+	if signer == nil {
+		return nil, errors.New("update: generator needs a signer")
+	}
+	if payloadBytes <= 0 {
+		return nil, fmt.Errorf("update: invalid payload size %d", payloadBytes)
+	}
+	if ttl == 0 {
+		return nil, errors.New("update: ttl must be at least one round")
+	}
+	return &Generator{
+		stream:  stream,
+		signer:  signer,
+		payload: payloadBytes,
+		ttl:     ttl,
+	}, nil
+}
+
+// Emit mints n updates released at round r. Payloads are deterministic
+// pseudo-content (seq-dependent), which keeps simulations reproducible
+// while exercising the full signing/hashing path.
+func (g *Generator) Emit(r model.Round, n int) ([]Update, error) {
+	out := make([]Update, 0, n)
+	for i := 0; i < n; i++ {
+		u := Update{
+			ID:       model.UpdateID{Stream: g.stream, Seq: g.nextSeq},
+			Deadline: r + g.ttl,
+			Payload:  syntheticPayload(g.stream, g.nextSeq, g.payload),
+		}
+		sig, err := g.signer.Sign(u.CanonicalBytes())
+		if err != nil {
+			return nil, fmt.Errorf("update: signing update %v: %w", u.ID, err)
+		}
+		u.SrcSig = sig
+		out = append(out, u)
+		g.nextSeq++
+	}
+	return out, nil
+}
+
+// NextSeq returns the sequence number the next emitted update will carry.
+func (g *Generator) NextSeq() uint64 { return g.nextSeq }
+
+// syntheticPayload fills a buffer with a cheap deterministic byte pattern.
+func syntheticPayload(stream model.StreamID, seq uint64, n int) []byte {
+	buf := make([]byte, n)
+	state := uint64(stream)<<32 ^ seq ^ 0x9E3779B97F4A7C15
+	for i := range buf {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		buf[i] = byte(state)
+	}
+	return buf
+}

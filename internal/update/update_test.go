@@ -1,0 +1,293 @@
+package update
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+type fakeSigner struct{ calls int }
+
+func (f *fakeSigner) Sign(msg []byte) ([]byte, error) {
+	f.calls++
+	return []byte{0x51, byte(len(msg))}, nil
+}
+
+func mkUpdate(seq uint64, deadline model.Round) Update {
+	return Update{
+		ID:       model.UpdateID{Stream: 1, Seq: seq},
+		Deadline: deadline,
+		Payload:  []byte{byte(seq), 0xFF},
+	}
+}
+
+func TestCanonicalBytesDeterministic(t *testing.T) {
+	u := mkUpdate(7, 12)
+	if !bytes.Equal(u.CanonicalBytes(), u.CanonicalBytes()) {
+		t.Fatal("canonical bytes not deterministic")
+	}
+}
+
+func TestCanonicalBytesDistinguishes(t *testing.T) {
+	u1 := mkUpdate(7, 12)
+	u2 := mkUpdate(8, 12)
+	u3 := mkUpdate(7, 13)
+	u4 := mkUpdate(7, 12)
+	u4.Payload = []byte{9, 9}
+	for i, other := range []Update{u2, u3, u4} {
+		if bytes.Equal(u1.CanonicalBytes(), other.CanonicalBytes()) {
+			t.Fatalf("case %d: distinct updates share canonical bytes", i)
+		}
+	}
+}
+
+func TestCanonicalBytesProperty(t *testing.T) {
+	f := func(seq uint64, deadline uint32, payload []byte) bool {
+		u := Update{
+			ID:       model.UpdateID{Stream: 3, Seq: seq},
+			Deadline: model.Round(deadline),
+			Payload:  payload,
+		}
+		b := u.CanonicalBytes()
+		return len(b) == 4+8+8+4+len(payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	u := mkUpdate(1, 10)
+	if u.Expired(10) {
+		t.Fatal("update expired at its own deadline")
+	}
+	if !u.Expired(11) {
+		t.Fatal("update not expired after deadline")
+	}
+	if !u.ExpiresNextRound(10) {
+		t.Fatal("forwarding at r=10 with deadline 10 should be expiring-list")
+	}
+	if u.ExpiresNextRound(9) {
+		t.Fatal("deadline 10 at r=9 should still be forwardable")
+	}
+}
+
+func TestStoreAddAndMultiplicity(t *testing.T) {
+	s := NewStore()
+	u := mkUpdate(1, 20)
+
+	if !s.Add(u, 5, 1, true) {
+		t.Fatal("first Add should report new")
+	}
+	if s.Add(u, 6, 3, false) {
+		t.Fatal("second Add should report duplicate")
+	}
+	e := s.Get(u.ID)
+	if e == nil {
+		t.Fatal("entry missing")
+	}
+	if e.Count != 4 {
+		t.Fatalf("Count = %d, want 4", e.Count)
+	}
+	if e.Received != 5 {
+		t.Fatalf("Received = %v, want 5 (first reception)", e.Received)
+	}
+	if !e.Forwardable {
+		t.Fatal("Forwardable must not be narrowed by a later expiring copy")
+	}
+	if s.Len() != 1 || !s.Has(u.ID) {
+		t.Fatal("store bookkeeping wrong")
+	}
+}
+
+func TestStoreZeroCountBecomesOne(t *testing.T) {
+	s := NewStore()
+	s.Add(mkUpdate(1, 20), 1, 0, true)
+	if got := s.Get(model.UpdateID{Stream: 1, Seq: 1}).Count; got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+}
+
+func TestStoreForwardableWidening(t *testing.T) {
+	s := NewStore()
+	u := mkUpdate(2, 20)
+	s.Add(u, 1, 1, false)
+	if s.Get(u.ID).Forwardable {
+		t.Fatal("expiring copy should not be forwardable")
+	}
+	s.Add(u, 1, 1, true)
+	if !s.Get(u.ID).Forwardable {
+		t.Fatal("forwardable copy should widen")
+	}
+}
+
+func TestReceivedInOrdering(t *testing.T) {
+	s := NewStore()
+	s.Add(mkUpdate(9, 20), 3, 1, true)
+	s.Add(mkUpdate(2, 20), 3, 1, true)
+	s.Add(mkUpdate(5, 20), 4, 1, true) // other round
+	got := s.ReceivedIn(3)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if got[0].Update.ID.Seq != 2 || got[1].Update.ID.Seq != 9 {
+		t.Fatal("entries not in canonical order")
+	}
+	if len(s.ReceivedIn(99)) != 0 {
+		t.Fatal("unknown round should be empty")
+	}
+}
+
+func TestOwnedInWindow(t *testing.T) {
+	s := NewStore()
+	for seq, round := range map[uint64]model.Round{1: 1, 2: 2, 3: 3, 4: 4, 5: 5} {
+		s.Add(mkUpdate(seq, 50), round, 1, true)
+	}
+	got := s.OwnedInWindow(5, 4) // rounds 2..5
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Update.ID.Less(got[i].Update.ID) {
+			t.Fatal("window not in canonical order")
+		}
+	}
+	// Window larger than history must not underflow.
+	got = s.OwnedInWindow(2, 10)
+	if len(got) != 2 {
+		t.Fatalf("early-round window len = %d, want 2", len(got))
+	}
+}
+
+func TestUndelivered(t *testing.T) {
+	s := NewStore()
+	s.Add(mkUpdate(1, 5), 1, 1, true)
+	s.Add(mkUpdate(2, 9), 1, 1, true)
+	got := s.Undelivered(5)
+	if len(got) != 1 || got[0].Update.ID.Seq != 1 {
+		t.Fatalf("Undelivered(5) = %v entries", len(got))
+	}
+	got[0].Delivered = true
+	if len(s.Undelivered(5)) != 0 {
+		t.Fatal("delivered entry still reported")
+	}
+	if len(s.Undelivered(9)) != 1 {
+		t.Fatal("deadline-9 update should be ready at round 9")
+	}
+}
+
+func TestDropBefore(t *testing.T) {
+	s := NewStore()
+	s.Add(mkUpdate(1, 50), 1, 1, true)
+	s.Add(mkUpdate(2, 50), 2, 1, true)
+	s.Add(mkUpdate(3, 50), 3, 1, true)
+	if got := s.DropBefore(3); got != 2 {
+		t.Fatalf("dropped %d, want 2", got)
+	}
+	if s.Len() != 1 || s.Has(model.UpdateID{Stream: 1, Seq: 1}) {
+		t.Fatal("DropBefore left stale entries")
+	}
+	if got := s.DropBefore(3); got != 0 {
+		t.Fatal("second DropBefore should drop nothing")
+	}
+}
+
+func TestBufferMap(t *testing.T) {
+	h1, h2 := []byte{1, 2, 3}, []byte{4, 5, 6}
+	bm := NewBufferMap([][]byte{h1, h2})
+	if bm.Len() != 2 {
+		t.Fatalf("Len = %d", bm.Len())
+	}
+	if !bm.Contains(h1) || !bm.Contains(h2) {
+		t.Fatal("Contains false negative")
+	}
+	if bm.Contains([]byte{9}) {
+		t.Fatal("Contains false positive")
+	}
+	var empty BufferMap
+	if empty.Contains(h1) {
+		t.Fatal("zero BufferMap should contain nothing")
+	}
+}
+
+func TestForwardSplit(t *testing.T) {
+	r := model.Round(10)
+	expired := &Entry{Update: mkUpdate(1, 9)}      // already dead
+	expiring := &Entry{Update: mkUpdate(2, 10)}    // dies next round
+	forwardable := &Entry{Update: mkUpdate(3, 15)} // lives on
+
+	exp, fwd := ForwardSplit([]*Entry{expired, expiring, forwardable}, r)
+	if len(exp) != 1 || exp[0].Update.ID.Seq != 2 {
+		t.Fatalf("expiring = %v", exp)
+	}
+	if len(fwd) != 1 || fwd[0].Update.ID.Seq != 3 {
+		t.Fatalf("forwardable = %v", fwd)
+	}
+}
+
+func TestGeneratorEmit(t *testing.T) {
+	signer := &fakeSigner{}
+	g, err := NewGenerator(1, signer, 32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, err := g.Emit(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(us) != 3 || signer.calls != 3 {
+		t.Fatalf("emitted %d, signed %d", len(us), signer.calls)
+	}
+	for i, u := range us {
+		if u.ID.Seq != uint64(i) {
+			t.Fatalf("seq[%d] = %d", i, u.ID.Seq)
+		}
+		if u.Deadline != 15 {
+			t.Fatalf("deadline = %v, want 15", u.Deadline)
+		}
+		if len(u.Payload) != 32 {
+			t.Fatalf("payload = %d bytes", len(u.Payload))
+		}
+		if len(u.SrcSig) == 0 {
+			t.Fatal("missing source signature")
+		}
+	}
+	if g.NextSeq() != 3 {
+		t.Fatalf("NextSeq = %d", g.NextSeq())
+	}
+	// Sequence numbers continue across Emit calls.
+	more, _ := g.Emit(6, 1)
+	if more[0].ID.Seq != 3 {
+		t.Fatal("sequence did not continue")
+	}
+}
+
+func TestGeneratorPayloadDeterministic(t *testing.T) {
+	g1, _ := NewGenerator(1, &fakeSigner{}, 64, 10)
+	g2, _ := NewGenerator(1, &fakeSigner{}, 64, 10)
+	u1, _ := g1.Emit(1, 1)
+	u2, _ := g2.Emit(1, 1)
+	if !bytes.Equal(u1[0].Payload, u2[0].Payload) {
+		t.Fatal("payloads not deterministic")
+	}
+	// Different streams produce different payloads.
+	g3, _ := NewGenerator(2, &fakeSigner{}, 64, 10)
+	u3, _ := g3.Emit(1, 1)
+	if bytes.Equal(u1[0].Payload, u3[0].Payload) {
+		t.Fatal("different streams share payloads")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(1, nil, 10, 10); err == nil {
+		t.Fatal("nil signer accepted")
+	}
+	if _, err := NewGenerator(1, &fakeSigner{}, 0, 10); err == nil {
+		t.Fatal("zero payload accepted")
+	}
+	if _, err := NewGenerator(1, &fakeSigner{}, 10, 0); err == nil {
+		t.Fatal("zero ttl accepted")
+	}
+}

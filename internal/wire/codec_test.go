@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 40)
+	w.Bytes([]byte("payload"))
+	w.Raw([]byte{1, 2})
+	enc := w.Finish()
+
+	r := NewReader(enc)
+	if r.U8() != 7 || !r.Bool() || r.Bool() {
+		t.Fatal("u8/bool mismatch")
+	}
+	if r.U32() != 0xDEADBEEF || r.U64() != 1<<40 {
+		t.Fatal("int mismatch")
+	}
+	if string(r.Bytes()) != "payload" {
+		t.Fatal("bytes mismatch")
+	}
+	if !bytes.Equal(r.take(2), []byte{1, 2}) {
+		t.Fatal("raw mismatch")
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("err = %v", r.Err())
+	}
+	// Sticky: further reads keep failing without panicking.
+	_ = r.U64()
+	_ = r.Bytes()
+	if !errors.Is(r.Done(), ErrTruncated) {
+		t.Fatal("Done should surface the sticky error")
+	}
+}
+
+func TestReaderTrailing(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	_ = r.U8()
+	if !errors.Is(r.Done(), ErrTrailing) {
+		t.Fatalf("Done = %v", r.Done())
+	}
+}
+
+func TestReaderBadBool(t *testing.T) {
+	r := NewReader([]byte{7})
+	_ = r.Bool()
+	if r.Err() == nil {
+		t.Fatal("bool 7 accepted")
+	}
+}
+
+func TestReaderHugeBytesField(t *testing.T) {
+	w := NewWriter()
+	w.U32(MaxBytesField + 1)
+	r := NewReader(w.Finish())
+	_ = r.Bytes()
+	if r.Err() == nil {
+		t.Fatal("oversized field accepted")
+	}
+}
+
+func TestReaderHugeList(t *testing.T) {
+	w := NewWriter()
+	w.U32(MaxListLen + 1)
+	r := NewReader(w.Finish())
+	_ = r.ListLen()
+	if r.Err() == nil {
+		t.Fatal("oversized list accepted")
+	}
+}
+
+func TestBytesCopied(t *testing.T) {
+	w := NewWriter()
+	w.Bytes([]byte("abc"))
+	enc := w.Finish()
+	r := NewReader(enc)
+	got := r.Bytes()
+	enc[5] = 'Z' // mutate the backing buffer
+	if string(got) != "abc" {
+		t.Fatal("Reader.Bytes aliases input")
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	f := func(a uint8, b bool, c uint32, d uint64, e []byte) bool {
+		w := NewWriter()
+		w.U8(a)
+		w.Bool(b)
+		w.U32(c)
+		w.U64(d)
+		w.Bytes(e)
+		r := NewReader(w.Finish())
+		ga, gb, gc, gd, ge := r.U8(), r.Bool(), r.U32(), r.U64(), r.Bytes()
+		return r.Done() == nil && ga == a && gb == b && gc == c &&
+			gd == d && bytes.Equal(ge, e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterLen(t *testing.T) {
+	w := NewWriter()
+	if w.Len() != 0 {
+		t.Fatal("fresh writer not empty")
+	}
+	w.U32(1)
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}

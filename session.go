@@ -1,0 +1,95 @@
+package pag
+
+import (
+	"fmt"
+
+	"repro/internal/acting"
+	"repro/internal/core"
+	"repro/internal/hhash"
+	"repro/internal/membership"
+	"repro/internal/model"
+	"repro/internal/pki"
+	"repro/internal/rac"
+	"repro/internal/streaming"
+	"repro/internal/transport"
+)
+
+// This file wires the three protocol node types into a Session.
+
+func (s *Session) buildPAGNode(id model.NodeID, suite pki.Suite, identity pki.Identity,
+	params hhash.Params, dir *membership.Directory, player *streaming.Player) (*core.Node, error) {
+	var node *core.Node
+	ep, err := s.net.Register(id, func(m transport.Message) { node.HandleMessage(m) })
+	if err != nil {
+		return nil, fmt.Errorf("pag: registering %v: %w", id, err)
+	}
+	node, err = core.NewNode(core.Config{
+		ID:              id,
+		Suite:           suite,
+		Identity:        identity,
+		HashParams:      params,
+		Directory:       dir,
+		Endpoint:        ep,
+		Sources:         []model.NodeID{SourceID},
+		IsSource:        id == SourceID,
+		PrimeBits:       s.cfg.PrimeBits,
+		BuffermapWindow: s.cfg.BuffermapWindow,
+		Behavior:        s.cfg.PAGBehaviors[id],
+		Verdicts:        func(v core.Verdict) { s.PAGVerdicts = append(s.PAGVerdicts, v) },
+		OnDeliver:       player.OnDeliver,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pag: node %v: %w", id, err)
+	}
+	return node, nil
+}
+
+func (s *Session) buildActingNode(id model.NodeID, suite pki.Suite, identity pki.Identity,
+	dir *membership.Directory, player *streaming.Player) (*acting.Node, error) {
+	var node *acting.Node
+	ep, err := s.net.Register(id, func(m transport.Message) { node.HandleMessage(m) })
+	if err != nil {
+		return nil, fmt.Errorf("pag: registering %v: %w", id, err)
+	}
+	node, err = acting.NewNode(acting.Config{
+		ID:          id,
+		Suite:       suite,
+		Identity:    identity,
+		Directory:   dir,
+		Endpoint:    ep,
+		Sources:     []model.NodeID{SourceID},
+		AuditPeriod: s.cfg.AuditPeriod,
+		Behavior:    s.cfg.ActingBehaviors[id],
+		Verdicts:    func(v acting.Verdict) { s.ActingVerdicts = append(s.ActingVerdicts, v) },
+		OnDeliver:   player.OnDeliver,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pag: acting node %v: %w", id, err)
+	}
+	return node, nil
+}
+
+func (s *Session) buildRACNode(id model.NodeID, suite pki.Suite, identity pki.Identity,
+	dir *membership.Directory, player *streaming.Player) (*rac.Node, error) {
+	var node *rac.Node
+	ep, err := s.net.Register(id, func(m transport.Message) { node.HandleMessage(m) })
+	if err != nil {
+		return nil, fmt.Errorf("pag: registering %v: %w", id, err)
+	}
+	node, err = rac.NewNode(rac.Config{
+		ID:        id,
+		Suite:     suite,
+		Identity:  identity,
+		Directory: dir,
+		Endpoint:  ep,
+		Sources:   []model.NodeID{SourceID},
+		SlotBytes: s.cfg.UpdateBytes,
+		Behavior:  s.cfg.RACBehaviors[id],
+		Verdicts:  func(v rac.Verdict) { s.RACVerdicts = append(s.RACVerdicts, v) },
+		OnDeliver: player.OnDeliver,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pag: rac node %v: %w", id, err)
+	}
+	return node, nil
+}
