@@ -9,7 +9,8 @@
 //	pag-experiments -exp fig10
 //	pag-experiments -exp proverif
 //
-// Experiments: fig7, fig8, fig9, fig10, table1, table2, proverif, all.
+// Experiments: fig7, fig8, fig9, fig10, table1, table2, churn, proverif,
+// all.
 // -quick shrinks system sizes and rates for a fast pass.
 package main
 
@@ -27,7 +28,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: fig7|fig8|fig9|fig10|table1|table2|proverif|all")
+		exp     = flag.String("exp", "all", "experiment id: fig7|fig8|fig9|fig10|table1|table2|churn|proverif|all")
 		nodes   = flag.Int("nodes", 0, "simulated system size (default 48; paper deployment used 432)")
 		stream  = flag.Int("stream", 0, "stream bitrate in kbps (default 300)")
 		rounds  = flag.Int("rounds", 0, "measured rounds (default 20)")
@@ -53,6 +54,7 @@ func run() int {
 		"fig10":    experiments.Fig10,
 		"table1":   experiments.Table1,
 		"table2":   experiments.Table2,
+		"churn":    experiments.ChurnStudy,
 		"proverif": experiments.ProVerif,
 	}
 

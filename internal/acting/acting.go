@@ -150,6 +150,7 @@ type Node struct {
 
 	monitored []model.NodeID
 	monValid  bool
+	monEpoch  model.Round
 	audits    map[model.NodeID]*auditState
 
 	injected []update.Update
@@ -205,6 +206,10 @@ func (n *Node) InjectUpdates(us []update.Update) {
 	n.injected = append(n.injected, us...)
 }
 
+// SetBehavior swaps the node's deviation profile at a round boundary —
+// the scenario engine's adversary-activation hook.
+func (n *Node) SetBehavior(b Behavior) { n.cfg.Behavior = b }
+
 func (n *Node) report(v Verdict) {
 	if n.cfg.Verdicts != nil {
 		v.Reporter = n.id
@@ -236,12 +241,18 @@ func (n *Node) BeginRound(r model.Round) {
 	}
 	n.injected = nil
 
-	if !n.monValid {
+	// Refresh the inverse monitor index whenever the assignment epoch
+	// moves (monitor rotation or a membership transition).
+	if epoch := n.cfg.Directory.MonitorEpoch(r); !n.monValid || epoch != n.monEpoch {
 		n.monValid = true
-		for _, y := range n.cfg.Directory.Nodes() {
+		n.monEpoch = epoch
+		n.monitored = n.monitored[:0]
+		for _, y := range n.cfg.Directory.MembersAt(r) {
 			if y != n.id && n.cfg.Directory.IsMonitorOf(n.id, y, r) {
 				n.monitored = append(n.monitored, y)
-				n.audits[y] = &auditState{}
+				if n.audits[y] == nil {
+					n.audits[y] = &auditState{}
+				}
 			}
 		}
 	}

@@ -33,6 +33,11 @@ type monNodeRound struct {
 	requested map[model.NodeID]bool
 	// exhibits stores Y's AckExhibit answers.
 	exhibits map[model.NodeID]*wire.AckExhibit
+	// suspect marks the obligation provably incomplete: the digest
+	// cross-check failed with missing shares (a designated monitor went
+	// silent — e.g. crashed undetected), so this round's obligation must
+	// not be used as a conviction baseline.
+	suspect bool
 }
 
 func newMonNodeRound() *monNodeRound {
@@ -102,7 +107,7 @@ func (m *monitorState) beginRound(r model.Round) {
 	m.monitoredEpoch = epoch
 	m.monitoredValid = true
 	m.monitored = m.monitored[:0]
-	for _, y := range m.n.cfg.Directory.Nodes() {
+	for _, y := range m.n.cfg.Directory.MembersAt(r) {
 		if y == m.n.id {
 			continue
 		}
@@ -431,6 +436,13 @@ func (m *monitorState) verify(r model.Round) {
 		}
 	}
 
+	// Handover epoch check, hoisted: when the monitor epoch did not move
+	// between r-1 and r (the overwhelmingly common case), membership and
+	// monitor assignments are identical in both rounds and the per-y
+	// guard below is vacuous — skip its O(N) recomputations.
+	handover := r > 0 &&
+		m.n.cfg.Directory.MonitorEpoch(r) != m.n.cfg.Directory.MonitorEpoch(r-1)
+
 	for _, y := range m.monitored {
 		st := m.state(r, y)
 
@@ -439,6 +451,33 @@ func (m *monitorState) verify(r model.Round) {
 		// assumed correct and emit fresh content (§III).
 		if m.n.isSource(y) {
 			continue
+		}
+		// Handover guard: the round-(r-1) obligation is only observable
+		// to monitors that already monitored y in r-1 — a monitor that
+		// took over at this round's epoch (churn re-seating, rotation)
+		// has no baseline and must not convict on its absence. Same for
+		// a y that joined this round: it has no r-1 obligation at all.
+		//
+		// Known limitation: with MonitorRotationRounds > 0 the rotation
+		// re-draws every monitor set at once, so this guard suspends the
+		// forwarding check system-wide for that one (publicly
+		// computable) round. Closing the gap needs obligation handover
+		// between outgoing and incoming monitors — see ROADMAP. Churn
+		// re-seating does not have this problem: rendezvous assignment
+		// only re-draws the sets the joiner/leaver touched.
+		if handover && (!m.n.cfg.Directory.ContainsAt(y, r-1) ||
+			!m.isMonitorOf(m.n.id, y, r-1)) {
+			continue
+		}
+		// Suspect baseline: the digest cross-check of round r-1 proved
+		// the obligation incomplete (a designated monitor never shared
+		// an exchange — already blamed as MonitorSilent). Convicting y
+		// against a baseline known to miss receptions would frame an
+		// honest forwarder.
+		if per, ok := m.rounds[r-1]; ok {
+			if prevSt, ok := per[y]; ok && prevSt.suspect {
+				continue
+			}
 		}
 		prev := m.obligationOf(r-1, y)
 		for _, succ := range m.n.cfg.Directory.Successors(y, r) {
@@ -510,9 +549,11 @@ func (m *monitorState) judge(r model.Round) {
 
 		// Digest cross-check (§V-B): by CloseRound all reports of the
 		// round have settled, so the node's self-digest must match the
-		// accumulated obligation.
+		// accumulated obligation. A mismatch also poisons the round's
+		// obligation as a forwarding baseline (see verify).
 		if st.digest != nil && st.digest.Cmp(st.obligation) != 0 {
 			m.blameDigestMismatch(r, y, st)
+			st.suspect = true
 		}
 
 		prev := m.obligationOf(r-1, y)

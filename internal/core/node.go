@@ -187,6 +187,22 @@ func (n *Node) Stats() Stats {
 // application layer and tests).
 func (n *Node) Store() *update.Store { return n.store }
 
+// SetBehavior swaps the node's deviation profile. Call it at a round
+// boundary — it is the scenario engine's adversary-activation hook (a node
+// that "tampers with its software" mid-session, §II-A).
+func (n *Node) SetBehavior(b Behavior) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.Behavior = b
+}
+
+// Behavior returns the node's current deviation profile.
+func (n *Node) Behavior() Behavior {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.Behavior
+}
+
 // InjectUpdates queues source-minted updates for dissemination at the next
 // BeginRound. Only meaningful on source nodes.
 func (n *Node) InjectUpdates(us []update.Update) {

@@ -87,6 +87,18 @@ func TestProVerifSmoke(t *testing.T) {
 	}
 }
 
+func TestChurnStudySmoke(t *testing.T) {
+	r, err := ChurnStudy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "churn" || !strings.Contains(r.Text, "PAG") ||
+		!strings.Contains(r.Text, "per-epoch slices") ||
+		!strings.Contains(r.Text, "convictions") {
+		t.Fatalf("churn study output:\n%s", r.Text)
+	}
+}
+
 func TestAllRunners(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in -short mode")
@@ -95,8 +107,8 @@ func TestAllRunners(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rs) != 7 {
-		t.Fatalf("%d results, want 7", len(rs))
+	if len(rs) != 8 {
+		t.Fatalf("%d results, want 8", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {

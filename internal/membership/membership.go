@@ -3,11 +3,18 @@
 // successors and monitors that can be identified, for a given round, by
 // each node in the system".
 //
-// The directory keeps the full member list and derives, from a shared seed,
+// The directory keeps the member list and derives, from a shared seed,
 // deterministic pseudo-random successor and monitor assignments per round —
 // every node (and every monitor) can recompute every other node's
 // assignments, which is exactly the capability the accountability checks
 // rely on. Predecessor sets are the inverse of the successor relation.
+//
+// Membership is epochal: Join and Leave take effect at a given round and
+// open a new epoch. Assignments for round r are always derived from the
+// membership in effect at r, so verification that happens one or two
+// rounds late (monitors check round r-1 obligations during round r) keeps
+// seeing exactly the assignment the participants acted under — even after
+// a churn event re-drew everything for later rounds.
 package membership
 
 import (
@@ -37,17 +44,26 @@ type Config struct {
 	MonitorRotationRounds int
 }
 
-// Directory is the full-membership view. It is safe for concurrent use.
-type Directory struct {
-	cfg   Config
-	nodes []model.NodeID // sorted, deduplicated
+// epoch is one immutable membership snapshot: the member set in effect
+// from round start (inclusive) until the next epoch's start.
+type epoch struct {
+	seq   int         // 0-based epoch number; folded into the pick seed
+	start model.Round // first round this membership is effective
+	nodes []model.NodeID
 	index map[model.NodeID]int
-
-	mu    sync.Mutex
-	views map[model.Round]*RoundView // small LRU by round
 }
 
-// New creates a Directory over the given members.
+// Directory is the full-membership view. It is safe for concurrent use.
+type Directory struct {
+	cfg Config
+
+	mu     sync.Mutex
+	epochs []*epoch                   // append-only, non-decreasing starts
+	views  map[model.Round]*RoundView // small LRU by round
+}
+
+// New creates a Directory over the given members (epoch 0, effective from
+// round 0).
 func New(nodes []model.NodeID, cfg Config) (*Directory, error) {
 	if cfg.Fanout <= 0 {
 		return nil, fmt.Errorf("membership: fanout %d must be positive", cfg.Fanout)
@@ -79,20 +95,139 @@ func New(nodes []model.NodeID, cfg Config) (*Directory, error) {
 		return nil, fmt.Errorf("membership: monitor count %d must be < system size %d",
 			cfg.Monitors, len(sorted))
 	}
+	return &Directory{
+		cfg:    cfg,
+		epochs: []*epoch{newEpoch(0, 0, sorted)},
+		views:  make(map[model.Round]*RoundView),
+	}, nil
+}
+
+func newEpoch(seq int, start model.Round, sorted []model.NodeID) *epoch {
 	index := make(map[model.NodeID]int, len(sorted))
 	for i, n := range sorted {
 		index[n] = i
 	}
-	return &Directory{
-		cfg:   cfg,
-		nodes: sorted,
-		index: index,
-		views: make(map[model.Round]*RoundView),
-	}, nil
+	return &epoch{seq: seq, start: start, nodes: sorted, index: index}
 }
 
-// N returns the system size.
-func (d *Directory) N() int { return len(d.nodes) }
+// epochFor returns the epoch in effect at round r; callers hold d.mu.
+// Starts are non-decreasing, and among equal starts the later entry wins.
+func (d *Directory) epochFor(r model.Round) *epoch {
+	for i := len(d.epochs) - 1; i > 0; i-- {
+		if d.epochs[i].start <= r {
+			return d.epochs[i]
+		}
+	}
+	return d.epochs[0]
+}
+
+func (d *Directory) current() *epoch { return d.epochs[len(d.epochs)-1] }
+
+// Join adds a member, opening a new epoch effective at round from. Every
+// assignment for rounds >= from is re-drawn over the grown member set;
+// rounds before are untouched.
+func (d *Directory) Join(id model.NodeID, from model.Round) error {
+	if id == model.NoNode {
+		return errors.New("membership: NoNode cannot join")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.current()
+	if from < cur.start {
+		return fmt.Errorf("membership: join at %v predates current epoch (start %v)",
+			from, cur.start)
+	}
+	if _, ok := cur.index[id]; ok {
+		return fmt.Errorf("membership: node %v already a member", id)
+	}
+	grown := make([]model.NodeID, 0, len(cur.nodes)+1)
+	grown = append(grown, cur.nodes...)
+	grown = append(grown, id)
+	sort.Slice(grown, func(i, j int) bool { return grown[i] < grown[j] })
+	d.pushEpoch(from, grown)
+	return nil
+}
+
+// Leave removes a member, opening a new epoch effective at round from. The
+// member set must stay large enough for the configured fanout and monitor
+// count.
+func (d *Directory) Leave(id model.NodeID, from model.Round) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.current()
+	if from < cur.start {
+		return fmt.Errorf("membership: leave at %v predates current epoch (start %v)",
+			from, cur.start)
+	}
+	if _, ok := cur.index[id]; !ok {
+		return fmt.Errorf("membership: node %v is not a member", id)
+	}
+	n := len(cur.nodes) - 1
+	if n <= d.cfg.Fanout || n <= d.cfg.Monitors || n < 2 {
+		return fmt.Errorf("membership: removing %v would shrink the system to %d nodes, below fanout %d / monitors %d",
+			id, n, d.cfg.Fanout, d.cfg.Monitors)
+	}
+	shrunk := make([]model.NodeID, 0, n)
+	for _, m := range cur.nodes {
+		if m != id {
+			shrunk = append(shrunk, m)
+		}
+	}
+	d.pushEpoch(from, shrunk)
+	return nil
+}
+
+// pushEpoch appends a new epoch and invalidates cached views it obsoletes;
+// callers hold d.mu.
+func (d *Directory) pushEpoch(from model.Round, sorted []model.NodeID) {
+	d.epochs = append(d.epochs, newEpoch(len(d.epochs), from, sorted))
+	for r := range d.views {
+		if r >= from {
+			delete(d.views, r)
+		}
+	}
+}
+
+// DropLastEpoch reverts the most recent Join/Leave — the rollback hook for
+// a driver whose node construction failed after the membership mutation.
+// Only the latest epoch can be dropped, and never epoch 0. Callers must
+// guarantee no round has yet run under the dropped epoch.
+func (d *Directory) DropLastEpoch() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.epochs) < 2 {
+		return errors.New("membership: no epoch to drop")
+	}
+	victim := d.epochs[len(d.epochs)-1]
+	d.epochs = d.epochs[:len(d.epochs)-1]
+	for r := range d.views {
+		if r >= victim.start {
+			delete(d.views, r)
+		}
+	}
+	return nil
+}
+
+// Epochs returns how many membership epochs exist (1 with no churn).
+func (d *Directory) Epochs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.epochs)
+}
+
+// EpochIndex returns the 0-based membership epoch in effect at round r.
+func (d *Directory) EpochIndex(r model.Round) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epochFor(r).seq
+}
+
+// N returns the current system size.
+func (d *Directory) N() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.current().nodes)
+}
 
 // Fanout returns the configured fanout.
 func (d *Directory) Fanout() int { return d.cfg.Fanout }
@@ -100,16 +235,33 @@ func (d *Directory) Fanout() int { return d.cfg.Fanout }
 // MonitorCount returns the configured monitors per node.
 func (d *Directory) MonitorCount() int { return d.cfg.Monitors }
 
-// Nodes returns the member list in ascending order (a copy).
+// Nodes returns the current member list in ascending order (a copy).
 func (d *Directory) Nodes() []model.NodeID {
-	out := make([]model.NodeID, len(d.nodes))
-	copy(out, d.nodes)
-	return out
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return copyIDs(d.current().nodes)
 }
 
-// Contains reports whether id is a member.
+// MembersAt returns the member list in effect at round r (a copy).
+func (d *Directory) MembersAt(r model.Round) []model.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return copyIDs(d.epochFor(r).nodes)
+}
+
+// Contains reports whether id is currently a member.
 func (d *Directory) Contains(id model.NodeID) bool {
-	_, ok := d.index[id]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.current().index[id]
+	return ok
+}
+
+// ContainsAt reports whether id is a member at round r.
+func (d *Directory) ContainsAt(id model.NodeID, r model.Round) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.epochFor(r).index[id]
 	return ok
 }
 
@@ -159,19 +311,20 @@ func (d *Directory) View(r model.Round) *RoundView {
 }
 
 func (d *Directory) buildView(r model.Round) *RoundView {
+	ep := d.epochFor(r)
 	v := &RoundView{
 		round: r,
-		succ:  make(map[model.NodeID][]model.NodeID, len(d.nodes)),
-		pred:  make(map[model.NodeID][]model.NodeID, len(d.nodes)),
+		succ:  make(map[model.NodeID][]model.NodeID, len(ep.nodes)),
+		pred:  make(map[model.NodeID][]model.NodeID, len(ep.nodes)),
 	}
-	for _, x := range d.nodes {
-		succ := d.pick(x, r, 0xA5CE55, d.cfg.Fanout)
+	for _, x := range ep.nodes {
+		succ := d.pick(ep, x, r, 0xA5CE55, d.cfg.Fanout)
 		v.succ[x] = succ
 		for _, s := range succ {
 			v.pred[s] = append(v.pred[s], x)
 		}
 	}
-	for _, x := range d.nodes {
+	for _, x := range ep.nodes {
 		sort.Slice(v.pred[x], func(i, j int) bool { return v.pred[x][i] < v.pred[x][j] })
 	}
 	return v
@@ -188,18 +341,70 @@ func (d *Directory) Predecessors(x model.NodeID, r model.Round) []model.NodeID {
 }
 
 // MonitorEpoch returns the monitor-assignment epoch of round r: the value
-// that changes exactly when monitor sets are re-drawn.
+// that changes exactly when monitor sets are re-drawn — every
+// MonitorRotationRounds rounds, and at every membership transition.
 func (d *Directory) MonitorEpoch(r model.Round) model.Round {
+	d.mu.Lock()
+	membership := d.epochFor(r).seq
+	d.mu.Unlock()
+	return d.rotationEpoch(r) + model.Round(membership)<<32
+}
+
+func (d *Directory) rotationEpoch(r model.Round) model.Round {
 	if p := d.cfg.MonitorRotationRounds; p > 0 {
 		return r / model.Round(p)
 	}
 	return 0
 }
 
-// Monitors returns the monitor set M(x) in effect at round r. With a zero
-// rotation period the set is static for the session.
+// Monitors returns the monitor set M(x) in effect at round r: the
+// MonitorCount members with the lowest deterministic rendezvous scores for
+// (x, rotation epoch). Rendezvous hashing keeps assignments sticky under
+// churn — a membership transition only changes M(x) when one of x's
+// monitors actually left (the next-ranked member takes over) or a joiner
+// ranks into the set — which is what lets monitors carry their accumulated
+// obligations across epoch boundaries instead of re-drawing wholesale
+// every time anyone joins or leaves.
 func (d *Directory) Monitors(x model.NodeID, r model.Round) []model.NodeID {
-	return d.pick(x, d.MonitorEpoch(r), 0x300717035, d.cfg.Monitors)
+	d.mu.Lock()
+	ep := d.epochFor(r)
+	d.mu.Unlock()
+	rot := uint64(d.rotationEpoch(r))
+	k := d.cfg.Monitors
+
+	base := d.cfg.Seed ^ uint64(x)*0x9E3779B97F4A7C15 ^ rot*0xBF58476D1CE4E5B9 ^ 0x300717035
+	type scored struct {
+		id    model.NodeID
+		score uint64
+	}
+	top := make([]scored, 0, k)
+	for _, m := range ep.nodes {
+		if m == x {
+			continue
+		}
+		c := scored{id: m, score: model.Hash64(base ^ uint64(m)*0x94D049BB133111EB)}
+		if len(top) == k && c.score >= top[k-1].score {
+			continue
+		}
+		// Insertion sort into the small top-k window.
+		pos := len(top)
+		if pos < k {
+			top = append(top, c)
+		} else {
+			pos = k - 1
+		}
+		for pos > 0 && top[pos-1].score > c.score {
+			top[pos] = top[pos-1]
+			pos--
+		}
+		top[pos] = c
+	}
+	out := make([]model.NodeID, len(top))
+	for i, c := range top {
+		out[i] = c.id
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // IsMonitorOf reports whether m ∈ M(x) at round r.
@@ -212,28 +417,36 @@ func (d *Directory) IsMonitorOf(m, x model.NodeID, r model.Round) bool {
 	return false
 }
 
-// pick deterministically selects k distinct members other than x, seeded by
-// (seed, x, r, salt). Selection is a partial Fisher–Yates over the sorted
-// member list driven by a splitmix64 stream, so every process derives the
-// same assignment.
-func (d *Directory) pick(x model.NodeID, r model.Round, salt uint64, k int) []model.NodeID {
-	rng := newSplitMix(d.cfg.Seed ^ uint64(x)*0x9E3779B97F4A7C15 ^ uint64(r)*0xBF58476D1CE4E5B9 ^ salt)
-	n := len(d.nodes)
-	// Partial shuffle over index space, skipping x.
+// pick deterministically selects k distinct members of ep other than x,
+// seeded by (seed, epoch, x, r, salt). Selection is a partial Fisher–Yates
+// over the sorted member list driven by a splitmix64 stream, so every
+// process derives the same assignment. Epoch 0 seeds are identical to the
+// pre-epoch directory, keeping static-membership runs reproducible across
+// versions.
+func (d *Directory) pick(ep *epoch, x model.NodeID, r model.Round, salt uint64, k int) []model.NodeID {
+	rng := &model.SplitMix64{State: d.cfg.Seed ^
+		uint64(x)*0x9E3779B97F4A7C15 ^
+		uint64(r)*0xBF58476D1CE4E5B9 ^
+		uint64(ep.seq)*0x94D049BB133111EB ^
+		salt}
+	n := len(ep.nodes)
+	// Partial shuffle over index space, skipping x when it is a member.
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	self := d.index[x]
-	// Move self to the end and shrink, so it is never selected.
-	idx[self], idx[n-1] = idx[n-1], idx[self]
-	limit := n - 1
+	limit := n
+	if self, ok := ep.index[x]; ok {
+		// Move self to the end and shrink, so it is never selected.
+		idx[self], idx[n-1] = idx[n-1], idx[self]
+		limit = n - 1
+	}
 
 	out := make([]model.NodeID, 0, k)
 	for i := 0; i < k && i < limit; i++ {
-		j := i + int(rng.next()%uint64(limit-i))
+		j := i + int(rng.Next()%uint64(limit-i))
 		idx[i], idx[j] = idx[j], idx[i]
-		out = append(out, d.nodes[idx[i]])
+		out = append(out, ep.nodes[idx[i]])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -246,18 +459,4 @@ func copyIDs(in []model.NodeID) []model.NodeID {
 	out := make([]model.NodeID, len(in))
 	copy(out, in)
 	return out
-}
-
-// splitMix is a splitmix64 PRNG: tiny, fast and stable across platforms,
-// so assignments are reproducible everywhere.
-type splitMix struct{ state uint64 }
-
-func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
-
-func (s *splitMix) next() uint64 {
-	s.state += 0x9E3779B97F4A7C15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
 }

@@ -163,3 +163,27 @@ func FanoutFor(n int) int {
 	}
 	return f
 }
+
+// SplitMix64 is the reproduction's shared deterministic PRNG (splitmix64):
+// tiny, fast and platform-stable, so membership assignments, scenario
+// expansion and network fault decisions replay identically everywhere.
+type SplitMix64 struct{ State uint64 }
+
+// Next returns the next value of the stream.
+func (s *SplitMix64) Next() uint64 {
+	s.State += 0x9E3779B97F4A7C15
+	return Hash64(s.State)
+}
+
+// Float returns the next value mapped uniformly into [0, 1).
+func (s *SplitMix64) Float() float64 {
+	return float64(s.Next()>>11) / float64(1<<53)
+}
+
+// Hash64 is the splitmix64 scrambling step on its own — a stateless
+// 64-bit mixer for rendezvous scores and seed derivation.
+func Hash64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -93,12 +93,16 @@ type Config struct {
 
 // Node is one RAC ring member.
 type Node struct {
-	cfg   Config
-	id    model.NodeID
-	ring  []model.NodeID // sorted members
-	succ  model.NodeID
-	pred  model.NodeID
-	round model.Round
+	cfg  Config
+	id   model.NodeID
+	ring []model.NodeID // sorted members
+	succ model.NodeID
+	pred model.NodeID
+	// ringEpoch/ringValid gate the per-round ring refresh on membership
+	// epoch changes.
+	ringEpoch int
+	ringValid bool
+	round     model.Round
 
 	store    *update.Store
 	injected []update.Update
@@ -249,10 +253,44 @@ func decodeUpdate(b []byte) (update.Update, error) {
 // de-anonymise itself.
 const SlotRate = 1
 
+// refreshRing re-derives the ring from the membership in effect at round
+// r, so churn (joins, leaves, crashes) re-seats every node's ring
+// neighbours at the epoch boundary. The member list is only re-read when
+// the epoch actually moves, so a static run keeps the construction-time
+// ring. A node that is itself no longer a member keeps its last ring (the
+// engine stops driving it anyway).
+func (n *Node) refreshRing(r model.Round) {
+	epoch := n.cfg.Directory.EpochIndex(r)
+	if n.ringValid && epoch == n.ringEpoch {
+		return
+	}
+	n.ringEpoch = epoch
+	n.ringValid = true
+	ring := n.cfg.Directory.MembersAt(r) // already sorted
+	self := -1
+	for i, id := range ring {
+		if id == n.id {
+			self = i
+			break
+		}
+	}
+	if self < 0 {
+		return
+	}
+	n.ring = ring
+	n.succ = ring[(self+1)%len(ring)]
+	n.pred = ring[(self-1+len(ring))%len(ring)]
+}
+
+// SetBehavior swaps the node's deviation profile at a round boundary —
+// the scenario engine's adversary-activation hook.
+func (n *Node) SetBehavior(b Behavior) { n.cfg.Behavior = b }
+
 // BeginRound emits this node's slots: real ones for pending content,
 // padded cover slots otherwise.
 func (n *Node) BeginRound(r model.Round) {
 	n.round = r
+	n.refreshRing(r)
 	n.seenOrigins = make(map[model.NodeID]int, len(n.ring))
 
 	if n.cfg.Behavior.NoCover && len(n.injected) == 0 {

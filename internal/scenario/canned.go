@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// This file ships the canned scenarios the evaluation harness and the CLI
+// use. Each constructor takes the knobs worth varying and fills in
+// paper-plausible defaults; Names/ByName expose them to cmd/pag-scenario.
+
+// FlashCrowd models a live event going viral: `joiners` fresh nodes all
+// arrive at round `at`, then the grown population streams on. The
+// interesting question is whether the epoch transition re-draws
+// dissemination so the newcomers reach full continuity.
+func FlashCrowd(joiners int, at model.Round, rounds int) Scenario {
+	s := Scenario{
+		Name: "flash-crowd",
+		Description: fmt.Sprintf(
+			"%d nodes join simultaneously at round %v (one epoch transition, population grows mid-stream)",
+			joiners, at),
+		Seed:         1,
+		Rounds:       rounds,
+		WarmupRounds: int(at) - 1,
+	}
+	for i := 0; i < joiners; i++ {
+		s.Events = append(s.Events, Event{Round: at, Action: ActionJoin})
+	}
+	return s
+}
+
+// SteadyChurn models a session in steady turnover: `ratePerRound` joins
+// and as many departures every round between warmup and the end, a
+// `crashFrac` share of the departures crashing with a 2-round detection
+// latency instead of leaving cleanly. With rate 0.2 over 20 measured
+// rounds on a 20-node system, roughly 20% of the population turns over —
+// the paper's "realistic live-streaming conditions" regime.
+func SteadyChurn(ratePerRound, crashFrac float64, warmup, rounds int) Scenario {
+	return Scenario{
+		Name: "steady-churn",
+		Description: fmt.Sprintf(
+			"%.2g joins and departures per round (%.0f%% of them crashes), uniform distribution",
+			ratePerRound, crashFrac*100),
+		Seed:         1,
+		Rounds:       rounds,
+		WarmupRounds: warmup,
+		Churn: &Churn{
+			FromRound:         model.Round(warmup + 1),
+			ToRound:           model.Round(rounds),
+			JoinsPerRound:     ratePerRound,
+			LeavesPerRound:    ratePerRound,
+			CrashFraction:     crashFrac,
+			CrashLingerRounds: 2,
+			Distribution:      DistUniform,
+		},
+	}
+}
+
+// TransientPartition cuts `islanders` off from the rest of the network
+// between rounds `from` and `to` (exclusive heal), then lets them catch
+// up. Continuity inside the island collapses during the cut and must
+// recover afterwards.
+func TransientPartition(islanders []model.NodeID, from, to model.Round, rounds int) Scenario {
+	island := append([]model.NodeID(nil), islanders...)
+	sort.Slice(island, func(i, j int) bool { return island[i] < island[j] })
+	return Scenario{
+		Name: "transient-partition",
+		Description: fmt.Sprintf(
+			"nodes %v partitioned from the rest during rounds [%v, %v), then healed",
+			island, from, to),
+		Seed:         1,
+		Rounds:       rounds,
+		WarmupRounds: int(from) - 1,
+		Events: []Event{
+			{Round: from, Action: ActionPartition, Groups: [][]model.NodeID{island}},
+			{Round: to, Action: ActionHeal},
+		},
+	}
+}
+
+// DelayedCoalition models adversaries that behave correctly through the
+// warm-up — building an honest-looking history — and activate together at
+// round `at`: the listed nodes flip to the given profile. Accountability
+// must still convict them from their post-activation deviations alone.
+func DelayedCoalition(adversaries []model.NodeID, profile BehaviorProfile, at model.Round, rounds int) Scenario {
+	members := append([]model.NodeID(nil), adversaries...)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	s := Scenario{
+		Name: "delayed-coalition",
+		Description: fmt.Sprintf(
+			"nodes %v turn %s at round %v after an honest warm-up", members, profile, at),
+		Seed:         1,
+		Rounds:       rounds,
+		WarmupRounds: int(at) - 1,
+	}
+	for _, id := range members {
+		s.Events = append(s.Events, Event{
+			Round: at, Action: ActionSetBehavior, Node: id, Behavior: profile,
+		})
+	}
+	return s
+}
+
+// Names lists the canned scenarios ByName serves, in display order.
+func Names() []string {
+	return []string{"flash-crowd", "steady-churn", "transient-partition", "delayed-coalition"}
+}
+
+// ByName returns a canned scenario with defaults sized for a session of
+// `nodes` members (node 1 is the source and node ids 2..nodes exist).
+func ByName(name string, nodes int) (Scenario, error) {
+	switch name {
+	case "flash-crowd":
+		return FlashCrowd(nodes/2, 11, 30), nil
+	case "steady-churn":
+		return SteadyChurn(0.2, 0.25, 10, 30), nil
+	case "transient-partition":
+		// Cut off the two highest client ids for eight rounds.
+		island := []model.NodeID{model.NodeID(nodes - 1), model.NodeID(nodes)}
+		return TransientPartition(island, 11, 19, 30), nil
+	case "delayed-coalition":
+		advs := []model.NodeID{model.NodeID(nodes - 1), model.NodeID(nodes)}
+		return DelayedCoalition(advs, ProfileFreeRider, 11, 30), nil
+	default:
+		return Scenario{}, fmt.Errorf("scenario: unknown canned scenario %q (have %v)", name, Names())
+	}
+}

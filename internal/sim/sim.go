@@ -34,12 +34,19 @@ type Protocol interface {
 // source's injection point.
 type RoundHook func(r model.Round)
 
+// Event is a scheduled action consulted at the top of its round, before
+// hooks and node phases run — the scenario engine's injection point.
+type Event func(r model.Round)
+
 // Engine coordinates nodes and the network.
 type Engine struct {
 	net   *transport.MemNet
 	nodes []Protocol
 	round model.Round
 	hooks []RoundHook
+
+	// events holds scheduled actions keyed by the round they fire at.
+	events map[model.Round][]Event
 
 	// measuring controls whether per-round traffic is being recorded.
 	baseline map[model.NodeID]transport.Traffic
@@ -55,6 +62,48 @@ func NewEngine(net *transport.MemNet) *Engine {
 // must therefore be deterministic for reproducible runs.
 func (e *Engine) Add(p Protocol) { e.nodes = append(e.nodes, p) }
 
+// Remove detaches a node immediately (it stops receiving phase calls);
+// it reports whether the node was present. Traffic counters survive in
+// the network layer.
+func (e *Engine) Remove(id model.NodeID) bool {
+	for i, n := range e.nodes {
+		if n.ID() == id {
+			e.nodes = append(e.nodes[:i], e.nodes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Has reports whether a node is currently attached.
+func (e *Engine) Has(id model.NodeID) bool {
+	for _, n := range e.nodes {
+		if n.ID() == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ScheduleAt queues fn to run at the top of round r, before hooks and node
+// phases. Events scheduled for rounds that already completed never fire.
+func (e *Engine) ScheduleAt(r model.Round, fn Event) {
+	if e.events == nil {
+		e.events = make(map[model.Round][]Event)
+	}
+	e.events[r] = append(e.events[r], fn)
+}
+
+// AddAt schedules a node to join the simulation at the top of round r.
+func (e *Engine) AddAt(r model.Round, p Protocol) {
+	e.ScheduleAt(r, func(model.Round) { e.Add(p) })
+}
+
+// RemoveAt schedules a node's detachment at the top of round r.
+func (e *Engine) RemoveAt(r model.Round, id model.NodeID) {
+	e.ScheduleAt(r, func(model.Round) { e.Remove(id) })
+}
+
 // Nodes returns the registered node count.
 func (e *Engine) Nodes() int { return len(e.nodes) }
 
@@ -68,6 +117,13 @@ func (e *Engine) OnRoundStart(h RoundHook) { e.hooks = append(e.hooks, h) }
 // pending traffic between phases.
 func (e *Engine) RunRound() {
 	r := e.round + 1
+	e.net.BeginRound()
+	if evs, ok := e.events[r]; ok {
+		delete(e.events, r)
+		for _, ev := range evs {
+			ev(r)
+		}
+	}
 	for _, h := range e.hooks {
 		h(r)
 	}

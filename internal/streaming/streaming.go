@@ -140,6 +140,22 @@ func (p *Player) ContinuityRatio(emittedThrough uint64) float64 {
 	return float64(got) / float64(emittedThrough)
 }
 
+// DeliveredInRange counts the distinct chunks of [from, to) delivered —
+// the windowed form of ContinuityRatio, used for per-epoch continuity and
+// for nodes that joined mid-stream (whose fair denominator starts at their
+// join point).
+func (p *Player) DeliveredInRange(from, to uint64) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var got uint64
+	for seq := from; seq < to; seq++ {
+		if p.delivered[seq] {
+			got++
+		}
+	}
+	return got
+}
+
 // CompleteWindows counts fully-delivered windows of the given size among
 // the first emittedThrough chunks — the paper's source "groups packets in
 // windows of 40 packets" (§VII-A), and a window with a gap shows as a

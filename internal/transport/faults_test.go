@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// faultNet registers n nodes (1..n) counting deliveries per node.
+func faultNet(t *testing.T, n int) (*MemNet, []Endpoint, []int) {
+	t.Helper()
+	net := NewMemNet()
+	eps := make([]Endpoint, n+1)
+	got := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		id := model.NodeID(i)
+		i := i
+		ep, err := net.Register(id, func(Message) { got[i]++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	return net, eps, got
+}
+
+func TestLossRateDeterministic(t *testing.T) {
+	run := func() (delivered int, dropped uint64) {
+		net, eps, got := faultNet(t, 2)
+		net.SetFaultSeed(42)
+		net.SetLossRate(0.5)
+		for i := 0; i < 200; i++ {
+			_ = eps[1].Send(2, 1, []byte("x"))
+		}
+		net.DeliverAll()
+		return got[2], net.Dropped()
+	}
+	d1, x1 := run()
+	d2, x2 := run()
+	if d1 != d2 || x1 != x2 {
+		t.Fatalf("same seed diverged: %d/%d vs %d/%d", d1, x1, d2, x2)
+	}
+	if d1 == 0 || d1 == 200 {
+		t.Fatalf("50%% loss delivered %d/200", d1)
+	}
+	if x1 != 200-uint64(d1) {
+		t.Fatalf("drop accounting off: %d dropped, %d delivered", x1, d1)
+	}
+}
+
+func TestLinkLossIsDirectional(t *testing.T) {
+	net, eps, got := faultNet(t, 2)
+	net.SetLinkLoss(1, 2, 1)
+	for i := 0; i < 10; i++ {
+		_ = eps[1].Send(2, 1, nil)
+		_ = eps[2].Send(1, 1, nil)
+	}
+	net.DeliverAll()
+	if got[2] != 0 {
+		t.Fatalf("1→2 fully lossy but %d delivered", got[2])
+	}
+	if got[1] != 10 {
+		t.Fatalf("2→1 clean but %d/10 delivered", got[1])
+	}
+	net.SetLinkLoss(1, 2, 0)
+	_ = eps[1].Send(2, 1, nil)
+	net.DeliverAll()
+	if got[2] != 1 {
+		t.Fatal("clearing the link loss did not restore delivery")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	net, eps, got := faultNet(t, 4)
+	// {1,2} vs implicit {3,4}.
+	net.SetPartition([]model.NodeID{1, 2})
+	_ = eps[1].Send(2, 1, nil) // same group
+	_ = eps[1].Send(3, 1, nil) // cross
+	_ = eps[4].Send(3, 1, nil) // same implicit group
+	_ = eps[3].Send(2, 1, nil) // cross
+	net.DeliverAll()
+	if got[2] != 1 || got[3] != 1 {
+		t.Fatalf("partition leaked: got %v", got)
+	}
+	net.Heal()
+	_ = eps[1].Send(3, 1, nil)
+	net.DeliverAll()
+	if got[3] != 2 {
+		t.Fatal("heal did not restore cross-group delivery")
+	}
+}
+
+func TestNodeDownDropsBothDirections(t *testing.T) {
+	net, eps, got := faultNet(t, 2)
+	net.SetNodeDown(2, true)
+	_ = eps[1].Send(2, 1, nil)
+	_ = eps[2].Send(1, 1, nil)
+	net.DeliverAll()
+	if got[1] != 0 || got[2] != 0 {
+		t.Fatalf("down node exchanged traffic: got %v", got)
+	}
+	net.SetNodeDown(2, false)
+	_ = eps[1].Send(2, 1, nil)
+	net.DeliverAll()
+	if got[2] != 1 {
+		t.Fatal("recovered node not reachable")
+	}
+}
+
+func TestDownAtDeliveryTime(t *testing.T) {
+	// A message in flight when the destination crashes is lost.
+	net, eps, got := faultNet(t, 2)
+	_ = eps[1].Send(2, 1, nil)
+	net.SetNodeDown(2, true)
+	net.DeliverAll()
+	if got[2] != 0 {
+		t.Fatal("in-flight message delivered to a crashed node")
+	}
+}
+
+func TestUploadCap(t *testing.T) {
+	net, eps, got := faultNet(t, 2)
+	size := uint64(Message{Payload: make([]byte, 10)}.WireSize())
+	net.SetUploadCap(1, 3*size)
+	for i := 0; i < 5; i++ {
+		_ = eps[1].Send(2, 1, make([]byte, 10))
+	}
+	net.DeliverAll()
+	if got[2] != 3 {
+		t.Fatalf("cap of 3 messages delivered %d", got[2])
+	}
+	if net.CapDrops() != 2 {
+		t.Fatalf("CapDrops = %d, want 2", net.CapDrops())
+	}
+	if tr := net.TrafficOf(1); tr.BytesOut != 3*size {
+		t.Fatalf("capped bytes charged to sender: %d", tr.BytesOut)
+	}
+	// A new round resets the budget; removing the cap lifts it entirely.
+	net.BeginRound()
+	net.SetUploadCap(1, 0)
+	for i := 0; i < 5; i++ {
+		_ = eps[1].Send(2, 1, make([]byte, 10))
+	}
+	net.DeliverAll()
+	if got[2] != 8 {
+		t.Fatalf("after reset+uncap delivered %d total, want 8", got[2])
+	}
+}

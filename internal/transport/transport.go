@@ -88,6 +88,11 @@ type DropFunc func(Message) bool
 // MemNet is the in-memory simulated network. Delivery is explicit: queued
 // messages are handed to handlers when the simulation engine calls
 // DeliverPending/DeliverAll, which keeps rounds deterministic.
+//
+// Beyond the raw DropFunc hook, MemNet carries a schedulable fault plane —
+// uniform and per-link loss rates, partitions that open and heal, per-node
+// down flags and per-round upload caps — all driven by a seeded PRNG so a
+// faulty run replays byte-identically under the same seed.
 type MemNet struct {
 	mu       sync.Mutex
 	handlers map[model.NodeID]Handler
@@ -95,6 +100,16 @@ type MemNet struct {
 	traffic  map[model.NodeID]*Traffic
 	drop     DropFunc
 	dropped  uint64
+
+	// Fault plane (all zero-valued ⇒ a perfect network).
+	faultRNG  model.SplitMix64
+	lossRate  float64
+	linkLoss  map[[2]model.NodeID]float64
+	partition map[model.NodeID]int // node → group; nil when healed
+	down      map[model.NodeID]bool
+	caps      map[model.NodeID]uint64 // bytes per round; 0 = unlimited
+	spent     map[model.NodeID]uint64 // bytes sent this round
+	capDrops  uint64
 }
 
 var _ Network = (*MemNet)(nil)
@@ -104,6 +119,10 @@ func NewMemNet() *MemNet {
 	return &MemNet{
 		handlers: make(map[model.NodeID]Handler),
 		traffic:  make(map[model.NodeID]*Traffic),
+		faultRNG: model.SplitMix64{State: 0x9E3779B97F4A7C15},
+		down:     make(map[model.NodeID]bool),
+		caps:     make(map[model.NodeID]uint64),
+		spent:    make(map[model.NodeID]uint64),
 	}
 }
 
@@ -125,6 +144,19 @@ func (n *MemNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
 	return &memEndpoint{net: n, id: id}, nil
 }
 
+// Unregister detaches a node's handler so its id can be registered again
+// later; queued messages to it are silently discarded at delivery and its
+// traffic counters survive. It reports whether the node was registered.
+func (n *MemNet) Unregister(id model.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.handlers[id]; !ok {
+		return false
+	}
+	delete(n.handlers, id)
+	return true
+}
+
 // SetDropFunc installs a fault-injection predicate (nil to clear). Dropped
 // messages are charged to the sender (the bytes left the NIC) but not the
 // receiver.
@@ -134,11 +166,131 @@ func (n *MemNet) SetDropFunc(f DropFunc) {
 	n.drop = f
 }
 
-// Dropped returns how many messages the drop predicate discarded.
+// Dropped returns how many messages the fault plane (drop predicate, loss,
+// partitions, down nodes and upload caps combined) discarded.
 func (n *MemNet) Dropped() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.dropped
+}
+
+// CapDrops returns how many messages were discarded by upload caps alone.
+func (n *MemNet) CapDrops() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.capDrops
+}
+
+// SetFaultSeed re-seeds the fault-plane PRNG; runs with the same seed and
+// the same send sequence replay identically.
+func (n *MemNet) SetFaultSeed(seed uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faultRNG = model.SplitMix64{State: seed ^ 0x9E3779B97F4A7C15}
+}
+
+// SetLossRate sets the uniform message-loss probability in [0, 1].
+func (n *MemNet) SetLossRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossRate = clampProb(p)
+}
+
+// SetLinkLoss sets the loss probability of the directed link from → to
+// (applied on top of the uniform rate; 0 removes the entry).
+func (n *MemNet) SetLinkLoss(from, to model.NodeID, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p = clampProb(p)
+	if p == 0 {
+		delete(n.linkLoss, [2]model.NodeID{from, to})
+		return
+	}
+	if n.linkLoss == nil {
+		n.linkLoss = make(map[[2]model.NodeID]float64)
+	}
+	n.linkLoss[[2]model.NodeID{from, to}] = p
+}
+
+// SetPartition splits the network: messages crossing group boundaries are
+// dropped. Nodes absent from every listed group form one implicit extra
+// group (so Partition([]{victim}) isolates a single node). Heal removes
+// the partition.
+func (n *MemNet) SetPartition(groups ...[]model.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[model.NodeID]int)
+	for g, members := range groups {
+		for _, id := range members {
+			n.partition[id] = g + 1
+		}
+	}
+}
+
+// Heal removes the current partition.
+func (n *MemNet) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = nil
+}
+
+// SetNodeDown marks a node crashed: everything it sends or should receive
+// is dropped, but its registration and counters are kept (so it can come
+// back up and so post-mortem accounting still works).
+func (n *MemNet) SetNodeDown(id model.NodeID, isDown bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = isDown
+}
+
+// SetUploadCap bounds a node's outbound bytes per round (0 removes the
+// cap). Messages beyond the budget never leave the NIC: they are dropped
+// uncharged, so the node's measured bandwidth saturates at the cap.
+func (n *MemNet) SetUploadCap(id model.NodeID, bytesPerRound uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if bytesPerRound == 0 {
+		delete(n.caps, id)
+		return
+	}
+	n.caps[id] = bytesPerRound
+}
+
+// BeginRound resets the per-round upload budgets; the simulation engine
+// calls it at the top of every round.
+func (n *MemNet) BeginRound() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.spent = make(map[model.NodeID]uint64, len(n.spent))
+}
+
+// faultDrop decides, with n.mu held, whether the fault plane discards msg
+// after the sender was charged.
+func (n *MemNet) faultDrop(msg Message) bool {
+	if n.down[msg.From] || n.down[msg.To] {
+		return true
+	}
+	if n.partition != nil && n.partition[msg.From] != n.partition[msg.To] {
+		return true
+	}
+	if p := n.lossRate; p > 0 && n.faultRNG.Float() < p {
+		return true
+	}
+	if p := n.linkLoss[[2]model.NodeID{msg.From, msg.To}]; p > 0 && n.faultRNG.Float() < p {
+		return true
+	}
+	return false
+}
+
+func clampProb(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
 }
 
 // PendingCount returns the number of queued, undelivered messages.
@@ -148,17 +300,29 @@ func (n *MemNet) PendingCount() int {
 	return len(n.queue)
 }
 
-// send enqueues a message, charging the sender immediately.
+// send enqueues a message, charging the sender immediately (unless the
+// sender's upload cap swallowed it before it left the NIC).
 func (n *MemNet) send(msg Message) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.handlers[msg.To]; !ok {
 		return fmt.Errorf("transport: unknown destination %v", msg.To)
 	}
+	size := uint64(msg.WireSize())
+	if limit, ok := n.caps[msg.From]; ok && n.spent[msg.From]+size > limit {
+		n.capDrops++
+		n.dropped++
+		return nil
+	}
+	n.spent[msg.From] += size
 	tr := n.traffic[msg.From]
-	tr.BytesOut += uint64(msg.WireSize())
+	tr.BytesOut += size
 	tr.MsgsOut++
 	if n.drop != nil && n.drop(msg) {
+		n.dropped++
+		return nil
+	}
+	if n.faultDrop(msg) {
 		n.dropped++
 		return nil
 	}
@@ -177,6 +341,13 @@ func (n *MemNet) DeliverPending() int {
 
 	for _, msg := range batch {
 		n.mu.Lock()
+		// A node that crashed while the message was in flight never
+		// receives it.
+		if n.down[msg.To] {
+			n.dropped++
+			n.mu.Unlock()
+			continue
+		}
 		h := n.handlers[msg.To]
 		tr := n.traffic[msg.To]
 		tr.BytesIn += uint64(msg.WireSize())

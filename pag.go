@@ -30,6 +30,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/pki"
 	"repro/internal/rac"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/streaming"
@@ -111,6 +112,11 @@ type SessionConfig struct {
 	RACBehaviors    map[model.NodeID]rac.Behavior
 	// AuditPeriod tunes the AcTinG baseline (default 5 rounds).
 	AuditPeriod int
+	// Scenario optionally scripts the session: churn, network faults and
+	// adversary activation fire from its timeline at the top of each
+	// round (see internal/scenario). Nil runs the static, fault-free
+	// population of the paper's baseline measurements.
+	Scenario *scenario.Scenario
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -161,10 +167,28 @@ type Session struct {
 	engine *sim.Engine
 	source *streaming.Source
 
+	// suite / params / dir are kept for mid-run node construction
+	// (scenario joins mint fresh identities against the same PKI and
+	// hash parameters).
+	suite  pki.Suite
+	params hhash.Params
+	dir    *membership.Directory
+
 	pagNodes    map[model.NodeID]*core.Node
 	actingNodes map[model.NodeID]*acting.Node
 	racNodes    map[model.NodeID]*rac.Node
 	players     map[model.NodeID]*streaming.Player
+
+	// Scenario state: the driving timeline (nil without a scenario),
+	// join/departure bookkeeping and the epoch marks metrics are sliced
+	// by.
+	timeline *scenario.Timeline
+	nextID   model.NodeID
+	// joinedChunk records, per mid-run joiner, how many chunks the
+	// source had emitted at join time — the fair continuity baseline.
+	joinedChunk map[model.NodeID]uint64
+	departed    map[model.NodeID]model.Round
+	epochMarks  []epochMark
 
 	// PAGVerdicts / ActingVerdicts / RACVerdicts collect the proofs of
 	// misbehaviour raised during the run.
@@ -189,8 +213,12 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		actingNodes: make(map[model.NodeID]*acting.Node),
 		racNodes:    make(map[model.NodeID]*rac.Node),
 		players:     make(map[model.NodeID]*streaming.Player),
+		nextID:      model.NodeID(c.Nodes + 1),
+		joinedChunk: make(map[model.NodeID]uint64),
+		departed:    make(map[model.NodeID]model.Round),
 	}
 	s.engine = sim.NewEngine(s.net)
+	s.net.SetFaultSeed(c.Seed)
 
 	ids := make([]model.NodeID, c.Nodes)
 	for i := range ids {
@@ -204,6 +232,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pag: membership: %w", err)
 	}
+	s.dir = dir
 
 	suite := pki.NewFastSuite()
 	var params hhash.Params
@@ -213,6 +242,8 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 			return nil, fmt.Errorf("pag: hash parameters: %w", err)
 		}
 	}
+	s.suite = suite
+	s.params = params
 
 	identities := make(map[model.NodeID]pki.Identity, c.Nodes)
 	for _, id := range ids {
@@ -269,6 +300,18 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pag: source: %w", err)
 	}
+	s.epochMarks = []epochMark{{start: 1}}
+
+	// The scenario hook registers first so churn and faults land before
+	// the source injects the round's chunks.
+	if c.Scenario != nil {
+		tl, err := scenario.Compile(*c.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("pag: scenario: %w", err)
+		}
+		s.timeline = tl
+		s.engine.OnRoundStart(func(r model.Round) { tl.Apply(r, s) })
+	}
 	s.engine.OnRoundStart(func(r model.Round) { _ = s.source.Tick(r) })
 	return s, nil
 }
@@ -296,33 +339,46 @@ func (s *Session) Player(id model.NodeID) *streaming.Player { return s.players[i
 // Emitted returns how many updates the source has released.
 func (s *Session) Emitted() uint64 { return s.source.Emitted() }
 
-// MeanContinuity returns the average playback continuity across clients
-// for the chunks whose playout deadline has passed.
+// MeanContinuity returns the average playback continuity across current
+// clients for the chunks whose playout deadline has passed. Departed nodes
+// are excluded; a mid-run joiner is measured from its join point (it could
+// never have received chunks that expired before it arrived).
 func (s *Session) MeanContinuity() float64 {
 	// Only chunks released at least TTL rounds ago have reached their
 	// deadline.
-	perRound := uint64(s.source.PerRound())
-	elapsed := uint64(s.engine.Round())
-	ttl := uint64(s.cfg.TTL)
-	if elapsed <= ttl {
-		return 0
-	}
-	due := (elapsed - ttl) * perRound
+	due := s.dueThrough(s.engine.Round())
 	if due == 0 {
 		return 0
 	}
 	total, count := 0.0, 0
-	for id, p := range s.players {
+	for _, id := range sortedIDs(s.players) {
 		if id == SourceID {
 			continue
 		}
-		total += p.ContinuityRatio(due)
+		if _, gone := s.departed[id]; gone {
+			continue
+		}
+		lo := s.joinedChunk[id] // 0 for founding members
+		if lo >= due {
+			continue // joined too recently for any fair deadline
+		}
+		total += float64(s.players[id].DeliveredInRange(lo, due)) / float64(due-lo)
 		count++
 	}
 	if count == 0 {
 		return 0
 	}
 	return total / float64(count)
+}
+
+// dueThrough returns how many chunks have passed their playout deadline by
+// the end of round r.
+func (s *Session) dueThrough(r model.Round) uint64 {
+	ttl := uint64(s.cfg.TTL)
+	if uint64(r) <= ttl {
+		return 0
+	}
+	return (uint64(r) - ttl) * uint64(s.source.PerRound())
 }
 
 // ConvictedNodes returns the nodes accused by at least threshold verdicts,

@@ -1,0 +1,132 @@
+package pag
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/scenario"
+)
+
+// ScenarioReport is the result of running one scenario under one or more
+// protocols — what cmd/pag-scenario emits. All slices are sorted and the
+// JSON field order is the struct order, so the same scenario and seed
+// produce byte-identical reports.
+type ScenarioReport struct {
+	Scenario  scenario.Scenario `json:"scenario"`
+	Nodes     int               `json:"nodes"`
+	Seed      uint64            `json:"seed"`
+	Protocols []ProtocolRun     `json:"protocols"`
+}
+
+// ProtocolRun is one protocol's measurements under the scenario.
+type ProtocolRun struct {
+	Protocol     string `json:"protocol"`
+	Rounds       int    `json:"rounds"`
+	FinalMembers int    `json:"final_members"`
+	// MeanContinuity covers the whole run for the nodes alive at its
+	// end (mid-run joiners measured from their join point).
+	MeanContinuity float64 `json:"mean_continuity"`
+	// MeanBandwidthKbps is the duration-weighted mean of the per-epoch
+	// client bandwidths — byte deltas over members actually present, so
+	// it stays truthful under churn (a per-node sample would silently
+	// drop departed nodes and dilute late joiners over the full window).
+	MeanBandwidthKbps float64 `json:"mean_bandwidth_kbps"`
+	MessagesDropped   uint64  `json:"messages_dropped"`
+	// Epochs slices the run by membership epoch.
+	Epochs []EpochStat `json:"epochs"`
+	// Convictions lists nodes with at least the conviction threshold of
+	// verdicts, ascending by node id.
+	Convictions []Conviction `json:"convictions"`
+	// Journal is the applied-event log (what the timeline actually did).
+	Journal []scenario.Applied `json:"journal"`
+}
+
+// Conviction is one convicted node with its verdict count.
+type Conviction struct {
+	Node     model.NodeID `json:"node"`
+	Verdicts int          `json:"verdicts"`
+}
+
+// JSON renders the report deterministically.
+func (r ScenarioReport) JSON() []byte {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("pag: marshalling scenario report: %v", err))
+	}
+	return append(out, '\n')
+}
+
+// weightedBandwidth averages the per-epoch client bandwidths weighted by
+// epoch duration, so the headline figure and the epoch slices always
+// reconcile.
+func weightedBandwidth(epochs []EpochStat) float64 {
+	var kbpsRounds, rounds float64
+	for _, e := range epochs {
+		d := float64(e.EndRound - e.StartRound + 1)
+		kbpsRounds += e.MeanBandwidthKbps * d
+		rounds += d
+	}
+	if rounds == 0 {
+		return 0
+	}
+	return kbpsRounds / rounds
+}
+
+// RunScenarioReport runs the scenario under each listed protocol on an
+// otherwise-identical configuration and gathers the comparison report.
+// convictionThreshold is the verdict count that counts as a conviction
+// (ConvictedNodes); 0 defaults to 1.
+func RunScenarioReport(base SessionConfig, sc scenario.Scenario,
+	protocols []Protocol, convictionThreshold int) (ScenarioReport, error) {
+	if err := sc.Validate(); err != nil {
+		return ScenarioReport{}, err
+	}
+	if len(protocols) == 0 {
+		protocols = []Protocol{ProtocolPAG, ProtocolAcTinG, ProtocolRAC}
+	}
+	if convictionThreshold <= 0 {
+		convictionThreshold = 1
+	}
+	report := ScenarioReport{
+		Scenario: sc,
+		Nodes:    base.Nodes,
+		Seed:     base.Seed,
+	}
+	for _, p := range protocols {
+		cfg := base
+		cfg.Protocol = p
+		cfg.Scenario = &sc
+		s, err := NewSession(cfg)
+		if err != nil {
+			return ScenarioReport{}, fmt.Errorf("pag: scenario %q under %v: %w", sc.Name, p, err)
+		}
+		if sc.WarmupRounds > 0 {
+			s.Run(sc.WarmupRounds)
+		}
+		s.StartMeasuring()
+		s.Run(sc.Rounds - sc.WarmupRounds)
+
+		epochs := s.EpochStats()
+		run := ProtocolRun{
+			Protocol:          p.String(),
+			Rounds:            sc.Rounds,
+			FinalMembers:      len(s.Members()),
+			MeanContinuity:    s.MeanContinuity(),
+			MeanBandwidthKbps: weightedBandwidth(epochs),
+			MessagesDropped:   s.net.Dropped(),
+			Epochs:            epochs,
+			Convictions:       []Conviction{},
+			Journal:           s.ScenarioJournal(),
+		}
+		convicted := s.ConvictedNodes(convictionThreshold)
+		for _, id := range sortedIDs(convicted) {
+			run.Convictions = append(run.Convictions, Conviction{Node: id, Verdicts: convicted[id]})
+		}
+		if run.Journal == nil {
+			run.Journal = []scenario.Applied{}
+		}
+		report.Protocols = append(report.Protocols, run)
+	}
+	return report, nil
+}

@@ -1,0 +1,437 @@
+package pag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/acting"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rac"
+	"repro/internal/scenario"
+	"repro/internal/streaming"
+	"repro/internal/transport"
+)
+
+// This file makes a Session drivable by a scenario timeline: it implements
+// scenario.Applier (churn, fault-plane and adversary-activation hooks) and
+// the per-epoch metrics a scripted run is evaluated by.
+//
+// All Applier methods fire at the top of a round, before any node acts —
+// the scenario hook registered in NewSession guarantees it. Calling them
+// mid-phase from application code is not supported.
+
+var _ scenario.Applier = (*Session)(nil)
+
+// epochMark snapshots the traffic counters at a membership-epoch boundary
+// so per-epoch bandwidth can be computed as a delta.
+type epochMark struct {
+	start   model.Round
+	traffic transport.Traffic
+}
+
+// clientTraffic is the aggregate traffic excluding the source — epoch
+// bandwidth is a client-side metric, like BandwidthSample (Fig 7).
+func (s *Session) clientTraffic() transport.Traffic {
+	total := s.net.TotalTraffic()
+	return total.Sub(s.net.TrafficOf(SourceID))
+}
+
+// bumpEpoch records a membership transition effective at round r.
+func (s *Session) bumpEpoch(r model.Round) {
+	last := &s.epochMarks[len(s.epochMarks)-1]
+	if last.start == r {
+		return // several churn events in one round share an epoch mark
+	}
+	s.epochMarks = append(s.epochMarks, epochMark{start: r, traffic: s.clientTraffic()})
+}
+
+// Join implements scenario.Applier: it mints an identity for the new
+// member (a fresh session-assigned id when id is NoNode), attaches a node
+// of the session's protocol, and opens a membership epoch at round r.
+func (s *Session) Join(r model.Round, id model.NodeID) (model.NodeID, error) {
+	if id == model.NoNode {
+		id = s.nextID
+	}
+	if _, was := s.players[id]; was {
+		return model.NoNode, fmt.Errorf("pag: node %v was already a session member (rejoin under a fresh id instead)", id)
+	}
+	identity, err := s.suite.NewIdentity(id)
+	if err != nil {
+		return model.NoNode, fmt.Errorf("pag: identity for joiner %v: %w", id, err)
+	}
+	player := streaming.NewPlayer(0)
+
+	// Membership first: node construction reads the directory (RAC seats
+	// itself on the ring of current members). Rolled back on failure.
+	if err := s.dir.Join(id, r); err != nil {
+		return model.NoNode, fmt.Errorf("pag: joining %v: %w", id, err)
+	}
+	rollback := func(err error) (model.NodeID, error) {
+		_ = s.dir.DropLastEpoch()
+		s.net.Unregister(id)
+		return model.NoNode, err
+	}
+	switch s.cfg.Protocol {
+	case ProtocolPAG:
+		n, err := s.buildPAGNode(id, s.suite, identity, s.params, s.dir, player)
+		if err != nil {
+			return rollback(err)
+		}
+		s.pagNodes[id] = n
+		s.engine.Add(n)
+	case ProtocolAcTinG:
+		n, err := s.buildActingNode(id, s.suite, identity, s.dir, player)
+		if err != nil {
+			return rollback(err)
+		}
+		s.actingNodes[id] = n
+		s.engine.Add(n)
+	case ProtocolRAC:
+		n, err := s.buildRACNode(id, s.suite, identity, s.dir, player)
+		if err != nil {
+			return rollback(err)
+		}
+		s.racNodes[id] = n
+		s.engine.Add(n)
+	}
+	s.players[id] = player
+	s.joinedChunk[id] = s.source.Emitted()
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
+	s.bumpEpoch(r)
+	return id, nil
+}
+
+// Leave implements scenario.Applier: a graceful departure — membership
+// re-draws the same round, so nobody holds obligations against the node.
+func (s *Session) Leave(r model.Round, id model.NodeID) error {
+	if id == SourceID {
+		return fmt.Errorf("pag: the source cannot leave")
+	}
+	if gone, was := s.departed[id]; was {
+		return fmt.Errorf("pag: node %v already departed at %v", id, gone)
+	}
+	if err := s.dir.Leave(id, r); err != nil {
+		return fmt.Errorf("pag: leave of %v: %w", id, err)
+	}
+	s.engine.Remove(id)
+	s.net.SetNodeDown(id, true)
+	s.departed[id] = r
+	s.bumpEpoch(r)
+	return nil
+}
+
+// Crash implements scenario.Applier: the node goes silent immediately but
+// stays a member for lingerRounds (failure-detection latency) — during the
+// lingering window its monitors see an unresponsive member, exactly the
+// observation an R1 deviation produces.
+func (s *Session) Crash(r model.Round, id model.NodeID, lingerRounds int) error {
+	if id == SourceID {
+		return fmt.Errorf("pag: the source cannot crash (assumed correct, §III)")
+	}
+	if !s.dir.Contains(id) {
+		return fmt.Errorf("pag: crash of non-member %v", id)
+	}
+	if gone, was := s.departed[id]; was {
+		return fmt.Errorf("pag: node %v already departed at %v", id, gone)
+	}
+	if lingerRounds <= 0 {
+		return s.Leave(r, id)
+	}
+	s.engine.Remove(id)
+	s.net.SetNodeDown(id, true)
+	s.departed[id] = r
+	s.engine.ScheduleAt(r+model.Round(lingerRounds), func(rr model.Round) {
+		// Detection: the membership drops the crashed node. A failed
+		// removal (system already at minimum size) keeps it as a
+		// permanently silent member — which monitors keep convicting,
+		// as they should.
+		if s.dir.Contains(id) && s.dir.Leave(id, rr) == nil {
+			s.bumpEpoch(rr)
+		}
+	})
+	return nil
+}
+
+// SetLossRate implements scenario.Applier.
+func (s *Session) SetLossRate(rate float64) { s.net.SetLossRate(rate) }
+
+// SetLinkLoss implements scenario.Applier.
+func (s *Session) SetLinkLoss(from, to model.NodeID, rate float64) {
+	s.net.SetLinkLoss(from, to, rate)
+}
+
+// Partition implements scenario.Applier.
+func (s *Session) Partition(groups [][]model.NodeID) { s.net.SetPartition(groups...) }
+
+// Heal implements scenario.Applier.
+func (s *Session) Heal() { s.net.Heal() }
+
+// SetUploadCap implements scenario.Applier (kbps of upload per node; one
+// round is one second, §VII-A).
+func (s *Session) SetUploadCap(id model.NodeID, kbps int) {
+	if kbps <= 0 {
+		s.net.SetUploadCap(id, 0)
+		return
+	}
+	s.net.SetUploadCap(id, uint64(kbps)*1000/8*model.RoundDurationSeconds)
+}
+
+// SetBehavior implements scenario.Applier: it maps the protocol-agnostic
+// profile onto the session protocol's deviation knobs.
+func (s *Session) SetBehavior(id model.NodeID, profile scenario.BehaviorProfile) error {
+	if id == SourceID {
+		return fmt.Errorf("pag: the source is assumed correct (§III)")
+	}
+	switch s.cfg.Protocol {
+	case ProtocolPAG:
+		n, ok := s.pagNodes[id]
+		if !ok {
+			return fmt.Errorf("pag: no PAG node %v", id)
+		}
+		switch profile {
+		case scenario.ProfileCorrect:
+			n.SetBehavior(core.Behavior{})
+		case scenario.ProfileFreeRider:
+			n.SetBehavior(core.Behavior{SkipServeEvery: 1})
+		case scenario.ProfileColluder:
+			n.SetBehavior(core.Behavior{SilentMonitor: true, SkipMonitorReport: true})
+		default:
+			return fmt.Errorf("pag: unknown behavior profile %q", profile)
+		}
+	case ProtocolAcTinG:
+		n, ok := s.actingNodes[id]
+		if !ok {
+			return fmt.Errorf("pag: no AcTinG node %v", id)
+		}
+		switch profile {
+		case scenario.ProfileCorrect:
+			n.SetBehavior(acting.Behavior{})
+		case scenario.ProfileFreeRider:
+			n.SetBehavior(acting.Behavior{SkipPropose: true})
+		case scenario.ProfileColluder:
+			n.SetBehavior(acting.Behavior{RefuseAudit: true})
+		default:
+			return fmt.Errorf("pag: unknown behavior profile %q", profile)
+		}
+	case ProtocolRAC:
+		n, ok := s.racNodes[id]
+		if !ok {
+			return fmt.Errorf("pag: no RAC node %v", id)
+		}
+		switch profile {
+		case scenario.ProfileCorrect:
+			n.SetBehavior(rac.Behavior{})
+		case scenario.ProfileFreeRider:
+			n.SetBehavior(rac.Behavior{DropRelays: true})
+		case scenario.ProfileColluder:
+			n.SetBehavior(rac.Behavior{NoCover: true})
+		default:
+			return fmt.Errorf("pag: unknown behavior profile %q", profile)
+		}
+	}
+	return nil
+}
+
+// ChurnTargets implements scenario.Applier: every current member except
+// the source — and except crashed-but-undetected nodes, which are already
+// gone in every sense the churn generator cares about — is a fair
+// leave/crash victim.
+func (s *Session) ChurnTargets() []model.NodeID {
+	var out []model.NodeID
+	for _, id := range s.dir.Nodes() {
+		if id == SourceID {
+			continue
+		}
+		if _, gone := s.departed[id]; gone {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// ScenarioJournal returns the applied-event log of the driving timeline
+// (nil without a scenario).
+func (s *Session) ScenarioJournal() []scenario.Applied {
+	if s.timeline == nil {
+		return nil
+	}
+	return s.timeline.Journal()
+}
+
+// Members returns the current member list.
+func (s *Session) Members() []model.NodeID { return s.dir.Nodes() }
+
+// ---------------------------------------------------------------------------
+// Per-epoch metrics
+// ---------------------------------------------------------------------------
+
+// EpochStat summarises one membership epoch of a scripted run.
+type EpochStat struct {
+	// Index is the 0-based epoch number; StartRound/EndRound bound it
+	// (inclusive; the last epoch ends at the last completed round).
+	Index      int         `json:"index"`
+	StartRound model.Round `json:"start_round"`
+	EndRound   model.Round `json:"end_round"`
+	// Members is the membership size during the epoch (constant by
+	// construction — a membership change opens a new epoch).
+	Members int `json:"members"`
+	// MeanContinuity averages, over the epoch's non-source members, the
+	// delivery ratio of the chunks whose playout deadline fell inside
+	// the epoch.
+	MeanContinuity float64 `json:"mean_continuity"`
+	// MeanBandwidthKbps is the per-client bandwidth averaged over the
+	// epoch (mean of upload and download, as in Fig 7).
+	MeanBandwidthKbps float64 `json:"mean_bandwidth_kbps"`
+	// Verdicts counts the proofs of misbehaviour raised during the
+	// epoch, across all protocols in the session.
+	Verdicts int `json:"verdicts"`
+}
+
+// EpochStats slices the run into its membership epochs and reports
+// continuity, bandwidth and verdicts per epoch. A static run yields one
+// epoch covering every completed round.
+func (s *Session) EpochStats() []EpochStat {
+	now := s.engine.Round()
+	if now == 0 {
+		return nil
+	}
+	verdictRounds := s.verdictRounds()
+	out := make([]EpochStat, 0, len(s.epochMarks))
+	for i, mark := range s.epochMarks {
+		if mark.start > now {
+			break // transition scheduled past the last completed round
+		}
+		end := now
+		endTraffic := s.clientTraffic()
+		if i+1 < len(s.epochMarks) && s.epochMarks[i+1].start <= now {
+			end = s.epochMarks[i+1].start - 1
+			endTraffic = s.epochMarks[i+1].traffic
+		}
+		members := s.dir.MembersAt(mark.start)
+		st := EpochStat{
+			Index:      i,
+			StartRound: mark.start,
+			EndRound:   end,
+			Members:    len(members),
+		}
+
+		// Continuity over the chunk deadlines of [start, end].
+		lo, hi := s.dueThrough(mark.start-1), s.dueThrough(end)
+		if hi > lo {
+			total, count := 0.0, 0
+			for _, id := range members {
+				if id == SourceID {
+					continue
+				}
+				p := s.players[id]
+				if p == nil {
+					continue
+				}
+				from := lo
+				if jc := s.joinedChunk[id]; jc > from {
+					from = jc
+				}
+				if from >= hi {
+					continue
+				}
+				total += float64(p.DeliveredInRange(from, hi)) / float64(hi-from)
+				count++
+			}
+			if count > 0 {
+				st.MeanContinuity = total / float64(count)
+			}
+		}
+
+		// Bandwidth: traffic delta over the epoch, averaged per client
+		// and second.
+		clients := len(members) - 1
+		seconds := float64(end-mark.start+1) * model.RoundDurationSeconds
+		if clients > 0 && seconds > 0 {
+			delta := endTraffic.Sub(mark.traffic)
+			bytes := float64(delta.BytesIn+delta.BytesOut) / 2
+			st.MeanBandwidthKbps = bytes * 8 / 1000 / seconds / float64(clients)
+		}
+
+		// Verdicts raised while the epoch was current.
+		for _, r := range verdictRounds {
+			if r >= mark.start && r <= end {
+				st.Verdicts++
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// verdictRounds flattens the per-protocol verdict lists into their rounds.
+func (s *Session) verdictRounds() []model.Round {
+	out := make([]model.Round, 0,
+		len(s.PAGVerdicts)+len(s.ActingVerdicts)+len(s.RACVerdicts))
+	for _, v := range s.PAGVerdicts {
+		out = append(out, v.Round)
+	}
+	for _, v := range s.ActingVerdicts {
+		out = append(out, v.Round)
+	}
+	for _, v := range s.RACVerdicts {
+		out = append(out, v.Round)
+	}
+	return out
+}
+
+// ContinuityInWindow returns one node's delivery ratio for the chunks
+// whose playout deadline fell within rounds [from, to] — how the stream
+// looked to that viewer during that window (a partition shows as a dip
+// here, and the post-heal window shows the recovery).
+func (s *Session) ContinuityInWindow(id model.NodeID, from, to model.Round) float64 {
+	p := s.players[id]
+	if p == nil || to < from {
+		return 0
+	}
+	lo, hi := s.dueThrough(from-1), s.dueThrough(to)
+	if jc := s.joinedChunk[id]; jc > lo {
+		lo = jc
+	}
+	if hi <= lo {
+		return 0
+	}
+	return float64(p.DeliveredInRange(lo, hi)) / float64(hi-lo)
+}
+
+// VerdictsAgainst counts, per accused node, the verdicts raised in rounds
+// [from, to] across all protocols — the windowed form of ConvictedNodes
+// used to attribute convictions to scenario phases.
+func (s *Session) VerdictsAgainst(from, to model.Round) map[model.NodeID]int {
+	out := make(map[model.NodeID]int)
+	for _, v := range s.PAGVerdicts {
+		if v.Round >= from && v.Round <= to {
+			out[v.Accused]++
+		}
+	}
+	for _, v := range s.ActingVerdicts {
+		if v.Round >= from && v.Round <= to {
+			out[v.Accused]++
+		}
+	}
+	for _, v := range s.RACVerdicts {
+		if v.Round >= from && v.Round <= to {
+			out[v.Accused]++
+		}
+	}
+	return out
+}
+
+// sortedIDs returns the map's keys in ascending order (deterministic
+// iteration for reports).
+func sortedIDs[V any](m map[model.NodeID]V) []model.NodeID {
+	out := make([]model.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
