@@ -1,0 +1,183 @@
+// Command pag-bench times the serial round engine against the sharded
+// parallel engine on identical sessions and records the result as
+// BENCH_engine.json, so the repository's performance trajectory is
+// measured, not remembered.
+//
+// Usage:
+//
+//	pag-bench                      # N=144 and N=432, defaults
+//	pag-bench -sizes 432 -rounds 12 -workers 8
+//	pag-bench -out BENCH_engine.json
+//
+// Both engines produce byte-identical runs (that is the parallel engine's
+// hard invariant — see internal/engine); pag-bench cross-checks it on
+// every measurement by fingerprinting the full per-node bandwidth
+// distribution and the playback continuity of each run, and refuses to
+// report a speedup for a run that diverged.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	pag "repro"
+)
+
+// sizeResult is one system size's measurement.
+type sizeResult struct {
+	Nodes           float64 `json:"nodes"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	RoundsPerSecSer float64 `json:"serial_rounds_per_sec"`
+	RoundsPerSecPar float64 `json:"parallel_rounds_per_sec"`
+	Identical       bool    `json:"byte_identical"`
+}
+
+// benchReport is the BENCH_engine.json schema.
+type benchReport struct {
+	Benchmark   string       `json:"benchmark"`
+	NumCPU      int          `json:"num_cpu"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	Workers     int          `json:"workers"`
+	Rounds      int          `json:"rounds"`
+	Warmup      int          `json:"warmup_rounds"`
+	StreamKbps  int          `json:"stream_kbps"`
+	ModulusBits int          `json:"modulus_bits"`
+	Seed        uint64       `json:"seed"`
+	GeneratedAt string       `json:"generated_at"`
+	Results     []sizeResult `json:"results"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		sizes   = flag.String("sizes", "144,432", "comma-separated system sizes")
+		rounds  = flag.Int("rounds", 8, "measured rounds per engine")
+		warmup  = flag.Int("warmup", 2, "warm-up rounds before timing")
+		stream  = flag.Int("stream", 60, "stream bitrate in kbps")
+		modBits = flag.Int("modulus", 128, "homomorphic modulus bits")
+		seed    = flag.Uint64("seed", 1, "session seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel-engine worker count")
+		out     = flag.String("out", "BENCH_engine.json", "output path ('-' for stdout only)")
+	)
+	flag.Parse()
+
+	// Unlike the sibling CLIs, workers=0 cannot mean "serial" here: the
+	// whole point is serial vs parallel, and silently timing the serial
+	// engine against itself would record a fake 1.0x speedup.
+	if *workers <= 0 {
+		fmt.Fprintln(os.Stderr, "pag-bench: -workers must be >= 1 (the serial baseline always runs)")
+		return 2
+	}
+
+	report := benchReport{
+		Benchmark:   "engine",
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:     *workers,
+		Rounds:      *rounds,
+		Warmup:      *warmup,
+		StreamKbps:  *stream,
+		ModulusBits: *modBits,
+		Seed:        *seed,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, field := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pag-bench: bad size %q: %v\n", field, err)
+			return 2
+		}
+		res, err := benchSize(n, *rounds, *warmup, *stream, *modBits, *workers, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pag-bench: N=%d: %v\n", n, err)
+			return 1
+		}
+		report.Results = append(report.Results, res)
+		fmt.Fprintf(os.Stderr,
+			"pag-bench: N=%-4d serial %6.2fs  parallel(%d workers) %6.2fs  speedup %.2fx  identical=%v\n",
+			n, res.SerialSeconds, *workers, res.ParallelSeconds, res.Speedup, res.Identical)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pag-bench:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pag-bench:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "pag-bench: wrote %s\n", *out)
+	return 0
+}
+
+// timeRun builds one session and times `rounds` steady-state rounds,
+// returning the duration and a fingerprint of the run's full measured
+// outcome: every member's bandwidth (bit-exact, in id order) and the
+// playback continuity — the determinism cross-check value.
+func timeRun(nodes, rounds, warmup, stream, modBits, workers int, seed uint64) (time.Duration, string, error) {
+	s, err := pag.NewSession(pag.SessionConfig{
+		Nodes:       nodes,
+		StreamKbps:  stream,
+		ModulusBits: modBits,
+		Seed:        seed,
+		Workers:     workers,
+	})
+	if err != nil {
+		return 0, "", err
+	}
+	s.Run(warmup)
+	s.StartMeasuring()
+	start := time.Now()
+	s.Run(rounds)
+	elapsed := time.Since(start)
+
+	h := sha256.New()
+	for _, id := range s.Members() {
+		fmt.Fprintf(h, "%d:%x\n", id, math.Float64bits(s.NodeBandwidthKbps(id)))
+	}
+	fmt.Fprintf(h, "continuity:%x\n", math.Float64bits(s.MeanContinuity()))
+	return elapsed, fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+func benchSize(nodes, rounds, warmup, stream, modBits, workers int, seed uint64) (sizeResult, error) {
+	serial, serFP, err := timeRun(nodes, rounds, warmup, stream, modBits, 0, seed)
+	if err != nil {
+		return sizeResult{}, fmt.Errorf("serial engine: %w", err)
+	}
+	parallel, parFP, err := timeRun(nodes, rounds, warmup, stream, modBits, workers, seed)
+	if err != nil {
+		return sizeResult{}, fmt.Errorf("parallel engine: %w", err)
+	}
+	res := sizeResult{
+		Nodes:           float64(nodes),
+		SerialSeconds:   serial.Seconds(),
+		ParallelSeconds: parallel.Seconds(),
+		RoundsPerSecSer: float64(rounds) / serial.Seconds(),
+		RoundsPerSecPar: float64(rounds) / parallel.Seconds(),
+		Identical:       serFP == parFP,
+	}
+	if res.Identical {
+		res.Speedup = serial.Seconds() / parallel.Seconds()
+	}
+	return res, nil
+}

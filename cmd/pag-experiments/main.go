@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -35,6 +36,8 @@ func run() int {
 		modBits = flag.Int("modulus", 0, "homomorphic modulus bits (default 512)")
 		quick   = flag.Bool("quick", false, "fast profile: small system, low rate, 128-bit modulus")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"round-engine workers (0 = serial engine; results are byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -45,6 +48,7 @@ func run() int {
 		ModulusBits:   *modBits,
 		Quick:         *quick,
 		Seed:          *seed,
+		Workers:       *workers,
 	}
 
 	runners := map[string]func(experiments.Options) (experiments.Result, error){

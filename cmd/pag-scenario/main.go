@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	pag "repro"
@@ -40,8 +41,10 @@ func run() int {
 		modBits   = flag.Int("modulus", 128, "homomorphic modulus bits (512 for paper-faithful sizes)")
 		seed      = flag.Uint64("seed", 7, "session seed; also drives a canned scenario's timeline (a -file scenario's own seed wins)")
 		threshold = flag.Int("threshold", 1, "verdict count that counts as a conviction")
-		dump      = flag.Bool("dump", false, "print the scenario JSON instead of running it")
-		list      = flag.Bool("list", false, "list canned scenarios")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"round-engine workers (0 = serial engine; results are byte-identical either way)")
+		dump = flag.Bool("dump", false, "print the scenario JSON instead of running it")
+		list = flag.Bool("list", false, "list canned scenarios")
 	)
 	flag.Parse()
 
@@ -89,6 +92,7 @@ func run() int {
 		StreamKbps:  *stream,
 		ModulusBits: *modBits,
 		Seed:        *seed,
+		Workers:     *workers,
 	}, sc, ps, *threshold)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pag-scenario:", err)

@@ -1,0 +1,166 @@
+package pag
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// These tests are the parallel engine's acceptance gate: every canned
+// scenario produces byte-identical RunScenarioReport JSON on the serial
+// engine and on the parallel engine at 1, 4 and 16 workers. Only the
+// Engine metadata block (worker count, engine kind, digest) may differ —
+// it is excluded from the determinism digest by construction.
+
+// strippedJSON renders a report without its engine metadata — the
+// deterministic portion Digest() covers.
+func strippedJSON(r ScenarioReport) []byte {
+	r.Engine = nil
+	return r.JSON()
+}
+
+func equivalenceBase(nodes int) SessionConfig {
+	return SessionConfig{
+		Nodes: nodes, StreamKbps: 2, UpdateBytes: 64, ModulusBits: 128, Seed: 7,
+	}
+}
+
+// runCanned runs one canned scenario on the given engine configuration.
+func runCanned(t *testing.T, name string, nodes, workers int) ScenarioReport {
+	t.Helper()
+	sc, err := scenario.ByName(name, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 7
+	base := equivalenceBase(nodes)
+	base.Workers = workers
+	r, err := RunScenarioReport(base, sc, nil, 1)
+	if err != nil {
+		t.Fatalf("%s at workers=%d: %v", name, workers, err)
+	}
+	return r
+}
+
+// TestEngineEquivalenceAllScenarios: all four canned scenarios,
+// serial vs parallel at 1, 4 and 16 workers, all three protocols.
+func TestEngineEquivalenceAllScenarios(t *testing.T) {
+	const nodes = 10
+	names := scenario.Names()
+	workerCounts := []int{1, 4, 16}
+	if testing.Short() {
+		// The race job runs with -short: one churn-heavy and one
+		// fault-heavy scenario at one worker count still exercise every
+		// merge path.
+		names = []string{"steady-churn", "transient-partition"}
+		workerCounts = []int{4}
+	}
+	for _, name := range names {
+		serial := runCanned(t, name, nodes, 0)
+		if serial.Engine == nil || serial.Engine.Kind != "serial" || serial.Engine.Workers != 1 {
+			t.Fatalf("%s: serial engine metadata %+v", name, serial.Engine)
+		}
+		want := strippedJSON(serial)
+		for _, w := range workerCounts {
+			parallel := runCanned(t, name, nodes, w)
+			if parallel.Engine == nil || parallel.Engine.Kind != "parallel" || parallel.Engine.Workers != w {
+				t.Fatalf("%s: parallel engine metadata %+v", name, parallel.Engine)
+			}
+			if got := strippedJSON(parallel); !bytes.Equal(want, got) {
+				t.Errorf("%s: report at workers=%d differs from the serial engine's\nserial:   %.400s\nparallel: %.400s",
+					name, w, want, got)
+				continue
+			}
+			if serial.Digest() != parallel.Digest() {
+				t.Errorf("%s: digest at workers=%d differs despite identical stripped JSON", name, w)
+			}
+			if parallel.Engine.ReportDigest != serial.Engine.ReportDigest {
+				t.Errorf("%s: recorded report_digest differs at workers=%d", name, w)
+			}
+		}
+	}
+}
+
+// TestDigestExcludesEngineMetadata: mutating the Engine block must not
+// move the digest, and the digest must match the recorded one.
+func TestDigestExcludesEngineMetadata(t *testing.T) {
+	r := runCanned(t, "steady-churn", 10, 0)
+	d := r.Digest()
+	if r.Engine.ReportDigest != d {
+		t.Fatalf("recorded digest %s != computed %s", r.Engine.ReportDigest, d)
+	}
+	r.Engine = &EngineInfo{Kind: "parallel", Workers: 512, ReportDigest: "bogus"}
+	if r.Digest() != d {
+		t.Fatal("digest depends on engine metadata")
+	}
+	// And the JSON with metadata present must still carry it.
+	if !bytes.Contains(r.JSON(), []byte(`"workers": 512`)) {
+		t.Fatal("engine metadata missing from JSON")
+	}
+}
+
+// TestSessionEngineSelection: Workers maps onto the engines as documented.
+func TestSessionEngineSelection(t *testing.T) {
+	for _, tc := range []struct {
+		workers int
+		kind    string
+	}{
+		{0, "serial"},
+		{1, "parallel"},
+		{3, "parallel"},
+		{-1, "parallel"},
+	} {
+		s, err := NewSession(SessionConfig{
+			Nodes: 8, StreamKbps: 2, UpdateBytes: 64, ModulusBits: 128, Seed: 1,
+			Workers: tc.workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := s.EngineInfo()
+		if info.Kind != tc.kind {
+			t.Fatalf("Workers=%d: kind %q, want %q", tc.workers, info.Kind, tc.kind)
+		}
+		if info.Workers < 1 {
+			t.Fatalf("Workers=%d: effective workers %d", tc.workers, info.Workers)
+		}
+		if tc.workers > 0 && info.Workers != tc.workers {
+			t.Fatalf("Workers=%d: effective workers %d", tc.workers, info.Workers)
+		}
+		// The session must actually run on the selected engine.
+		s.Run(3)
+		if got := s.Round(); got != 3 {
+			t.Fatalf("Workers=%d: round %v after Run(3)", tc.workers, got)
+		}
+	}
+}
+
+// TestParallelSessionBandwidthMatchesSerial: the headline Fig-7 metric is
+// identical bit-for-bit between engines on a plain (scenario-free) run.
+func TestParallelSessionBandwidthMatchesSerial(t *testing.T) {
+	run := func(workers int) (float64, float64) {
+		s, err := NewSession(SessionConfig{
+			Nodes: 12, StreamKbps: 4, UpdateBytes: 64, ModulusBits: 128, Seed: 3,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(4)
+		s.StartMeasuring()
+		s.Run(8)
+		return s.BandwidthSample().Mean(), s.MeanContinuity()
+	}
+	bwSerial, contSerial := run(0)
+	for _, w := range []int{1, 4} {
+		bw, cont := run(w)
+		if bw != bwSerial || cont != contSerial {
+			t.Errorf("workers=%d: bandwidth/continuity %v/%v, want %v/%v",
+				w, bw, cont, bwSerial, contSerial)
+		}
+	}
+	if bwSerial == 0 {
+		t.Fatal("no bandwidth measured")
+	}
+}

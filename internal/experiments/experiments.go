@@ -47,6 +47,10 @@ type Options struct {
 	Quick bool
 	// Seed fixes all randomness.
 	Seed uint64
+	// Workers selects the round engine (see pag.SessionConfig.Workers):
+	// 0 serial, n > 0 parallel with n workers, n < 0 parallel with
+	// GOMAXPROCS. Results are byte-identical at every setting.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +99,7 @@ func runSession(o Options, protocol pag.Protocol) (*pag.Session, error) {
 		StreamKbps:  o.StreamKbps,
 		ModulusBits: o.ModulusBits,
 		Seed:        o.Seed,
+		Workers:     o.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -160,6 +165,7 @@ func Fig8(opt Options) (Result, error) {
 				UpdateBytes: size,
 				ModulusBits: o.ModulusBits,
 				Seed:        o.Seed,
+				Workers:     o.Workers,
 			})
 			if err != nil {
 				return Result{}, fmt.Errorf("experiments: fig8 size %d: %w", size, err)
@@ -362,6 +368,7 @@ func ChurnStudy(opt Options) (Result, error) {
 		StreamKbps:  o.StreamKbps,
 		ModulusBits: o.ModulusBits,
 		Seed:        o.Seed,
+		Workers:     o.Workers,
 	}, sc, nil, threshold)
 	if err != nil {
 		return Result{}, fmt.Errorf("experiments: churn study: %w", err)

@@ -53,13 +53,31 @@ type epoch struct {
 	index map[model.NodeID]int
 }
 
-// Directory is the full-membership view. It is safe for concurrent use.
+// Directory is the full-membership view. It is safe for concurrent use,
+// and tuned for the round engines' access pattern: mutations (Join/Leave)
+// only happen at round tops, single-threaded, while reads fan out across
+// worker goroutines during the phases. Reads therefore take a shared lock
+// and hit immutable per-round snapshots — the materialised RoundView and
+// the memoised monitor sets — so concurrent node steps never serialise on
+// assignment computation.
 type Directory struct {
 	cfg Config
 
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	epochs []*epoch                   // append-only, non-decreasing starts
 	views  map[model.Round]*RoundView // small LRU by round
+
+	// monitors memoises Monitors() per (membership epoch, rotation epoch,
+	// node): the rendezvous scan is O(N) per call and monitor lookups are
+	// the hottest directory read the accountability checks make.
+	monitors map[monKey][]model.NodeID
+}
+
+// monKey identifies one memoised monitor set.
+type monKey struct {
+	epoch int
+	rot   model.Round
+	node  model.NodeID
 }
 
 // New creates a Directory over the given members (epoch 0, effective from
@@ -96,9 +114,10 @@ func New(nodes []model.NodeID, cfg Config) (*Directory, error) {
 			cfg.Monitors, len(sorted))
 	}
 	return &Directory{
-		cfg:    cfg,
-		epochs: []*epoch{newEpoch(0, 0, sorted)},
-		views:  make(map[model.Round]*RoundView),
+		cfg:      cfg,
+		epochs:   []*epoch{newEpoch(0, 0, sorted)},
+		views:    make(map[model.Round]*RoundView),
+		monitors: make(map[monKey][]model.NodeID),
 	}, nil
 }
 
@@ -178,12 +197,24 @@ func (d *Directory) Leave(id model.NodeID, from model.Round) error {
 }
 
 // pushEpoch appends a new epoch and invalidates cached views it obsoletes;
-// callers hold d.mu.
+// callers hold d.mu. Monitor memos are keyed by epoch sequence, so a new
+// epoch never invalidates them — except after a DropLastEpoch, which
+// purges the dropped sequence explicitly.
 func (d *Directory) pushEpoch(from model.Round, sorted []model.NodeID) {
 	d.epochs = append(d.epochs, newEpoch(len(d.epochs), from, sorted))
 	for r := range d.views {
 		if r >= from {
 			delete(d.views, r)
+		}
+	}
+}
+
+// purgeMonitors drops the memoised monitor sets of one epoch sequence;
+// callers hold d.mu.
+func (d *Directory) purgeMonitors(seq int) {
+	for k := range d.monitors {
+		if k.epoch == seq {
+			delete(d.monitors, k)
 		}
 	}
 }
@@ -205,27 +236,30 @@ func (d *Directory) DropLastEpoch() error {
 			delete(d.views, r)
 		}
 	}
+	// The next pushEpoch reuses the victim's sequence number over a
+	// different member set, so its monitor memos must not survive.
+	d.purgeMonitors(victim.seq)
 	return nil
 }
 
 // Epochs returns how many membership epochs exist (1 with no churn).
 func (d *Directory) Epochs() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.epochs)
 }
 
 // EpochIndex returns the 0-based membership epoch in effect at round r.
 func (d *Directory) EpochIndex(r model.Round) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.epochFor(r).seq
 }
 
 // N returns the current system size.
 func (d *Directory) N() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.current().nodes)
 }
 
@@ -237,30 +271,30 @@ func (d *Directory) MonitorCount() int { return d.cfg.Monitors }
 
 // Nodes returns the current member list in ascending order (a copy).
 func (d *Directory) Nodes() []model.NodeID {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return copyIDs(d.current().nodes)
 }
 
 // MembersAt returns the member list in effect at round r (a copy).
 func (d *Directory) MembersAt(r model.Round) []model.NodeID {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return copyIDs(d.epochFor(r).nodes)
 }
 
 // Contains reports whether id is currently a member.
 func (d *Directory) Contains(id model.NodeID) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	_, ok := d.current().index[id]
 	return ok
 }
 
 // ContainsAt reports whether id is a member at round r.
 func (d *Directory) ContainsAt(id model.NodeID, r model.Round) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	_, ok := d.epochFor(r).index[id]
 	return ok
 }
@@ -285,14 +319,23 @@ func (v *RoundView) Predecessors(x model.NodeID) []model.NodeID {
 	return copyIDs(v.pred[x])
 }
 
-// View materialises (and caches) the assignment for round r.
+// View materialises (and caches) the assignment for round r. The fast
+// path is a shared-lock cache hit on an immutable snapshot, so concurrent
+// readers during a round never serialise; the round engines prewarm the
+// current round's view before fanning node steps out.
 func (d *Directory) View(r model.Round) *RoundView {
+	d.mu.RLock()
+	v, ok := d.views[r]
+	d.mu.RUnlock()
+	if ok {
+		return v
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if v, ok := d.views[r]; ok {
 		return v
 	}
-	v := d.buildView(r)
+	v = d.buildView(r)
 	// Keep the cache small: drop views older than a playout window.
 	const keep = 16
 	if len(d.views) >= keep {
@@ -344,9 +387,9 @@ func (d *Directory) Predecessors(x model.NodeID, r model.Round) []model.NodeID {
 // that changes exactly when monitor sets are re-drawn — every
 // MonitorRotationRounds rounds, and at every membership transition.
 func (d *Directory) MonitorEpoch(r model.Round) model.Round {
-	d.mu.Lock()
+	d.mu.RLock()
 	membership := d.epochFor(r).seq
-	d.mu.Unlock()
+	d.mu.RUnlock()
 	return d.rotationEpoch(r) + model.Round(membership)<<32
 }
 
@@ -366,10 +409,15 @@ func (d *Directory) rotationEpoch(r model.Round) model.Round {
 // obligations across epoch boundaries instead of re-drawing wholesale
 // every time anyone joins or leaves.
 func (d *Directory) Monitors(x model.NodeID, r model.Round) []model.NodeID {
-	d.mu.Lock()
+	d.mu.RLock()
 	ep := d.epochFor(r)
-	d.mu.Unlock()
-	rot := uint64(d.rotationEpoch(r))
+	key := monKey{epoch: ep.seq, rot: d.rotationEpoch(r), node: x}
+	memo, hit := d.monitors[key]
+	d.mu.RUnlock()
+	if hit {
+		return copyIDs(memo)
+	}
+	rot := uint64(key.rot)
 	k := d.cfg.Monitors
 
 	base := d.cfg.Seed ^ uint64(x)*0x9E3779B97F4A7C15 ^ rot*0xBF58476D1CE4E5B9 ^ 0x300717035
@@ -404,6 +452,22 @@ func (d *Directory) Monitors(x model.NodeID, r model.Round) []model.NodeID {
 		out[i] = c.id
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+
+	d.mu.Lock()
+	// Keep the memo bounded by evicting entries from other membership or
+	// rotation epochs — long-gone ones are never asked for again, and
+	// the handful of boundary queries (a monitor checking round r−1 just
+	// after a transition) rebuild cheaply. The current epoch's hot
+	// entries survive, so steady state never rescans.
+	if len(d.monitors) > 8*len(ep.nodes)+64 {
+		for k := range d.monitors {
+			if k.epoch != key.epoch || k.rot != key.rot {
+				delete(d.monitors, k)
+			}
+		}
+	}
+	d.monitors[key] = copyIDs(out)
+	d.mu.Unlock()
 	return out
 }
 

@@ -38,37 +38,75 @@ type RoundHook func(r model.Round)
 // hooks and node phases run — the scenario engine's injection point.
 type Event func(r model.Round)
 
-// Engine coordinates nodes and the network.
-type Engine struct {
-	net   *transport.MemNet
+// Stepper is the round-driving abstraction a session runs on: the serial
+// Engine below and the sharded parallel engine (internal/engine) both
+// implement it, and — because MemNet merges sends at phase barriers in a
+// canonical order — both produce byte-identical runs from the same seed.
+//
+// Mutating calls (Add, Remove, ScheduleAt, OnRoundStart, StartMeasuring)
+// are only legal between rounds or from round-top events/hooks, which
+// every implementation runs single-threaded.
+type Stepper interface {
+	// Add registers a protocol node.
+	Add(p Protocol)
+	// Remove detaches a node immediately; it reports whether the node was
+	// present.
+	Remove(id model.NodeID) bool
+	// Has reports whether a node is currently attached.
+	Has(id model.NodeID) bool
+	// ScheduleAt queues fn to run at the top of round r.
+	ScheduleAt(r model.Round, fn Event)
+	// AddAt schedules a node to join at the top of round r.
+	AddAt(r model.Round, p Protocol)
+	// RemoveAt schedules a node's detachment at the top of round r.
+	RemoveAt(r model.Round, id model.NodeID)
+	// Nodes returns the registered node count.
+	Nodes() int
+	// Round returns the last completed round (0 before the first).
+	Round() model.Round
+	// OnRoundStart registers a hook invoked at the top of every round.
+	OnRoundStart(h RoundHook)
+	// RunRound advances one round through the four phases.
+	RunRound()
+	// Run advances n rounds.
+	Run(n int)
+	// StartMeasuring snapshots traffic counters to open the bandwidth
+	// measurement window.
+	StartMeasuring()
+	// NodeBandwidthKbps returns one node's average bandwidth over the
+	// measured window in kbps.
+	NodeBandwidthKbps(id model.NodeID) float64
+	// BandwidthSample returns the per-node bandwidth distribution over
+	// the measured window, excluding the listed nodes.
+	BandwidthSample(exclude ...model.NodeID) stats.Sample
+}
+
+var _ Stepper = (*Engine)(nil)
+
+// Roster is the node, hook and event bookkeeping shared by the round
+// engines. It implements the non-stepping half of Stepper; the serial
+// engine below and the parallel engine (internal/engine) both embed it,
+// so registration and scheduling semantics cannot drift apart between
+// them — which the byte-identical guarantee depends on.
+type Roster struct {
 	nodes []Protocol
-	round model.Round
 	hooks []RoundHook
 
 	// events holds scheduled actions keyed by the round they fire at.
 	events map[model.Round][]Event
-
-	// measuring controls whether per-round traffic is being recorded.
-	baseline map[model.NodeID]transport.Traffic
-	measured model.Round // rounds measured so far
-}
-
-// NewEngine creates an engine over a MemNet.
-func NewEngine(net *transport.MemNet) *Engine {
-	return &Engine{net: net}
 }
 
 // Add registers a protocol node; nodes act in registration order, which
 // must therefore be deterministic for reproducible runs.
-func (e *Engine) Add(p Protocol) { e.nodes = append(e.nodes, p) }
+func (ro *Roster) Add(p Protocol) { ro.nodes = append(ro.nodes, p) }
 
 // Remove detaches a node immediately (it stops receiving phase calls);
 // it reports whether the node was present. Traffic counters survive in
 // the network layer.
-func (e *Engine) Remove(id model.NodeID) bool {
-	for i, n := range e.nodes {
+func (ro *Roster) Remove(id model.NodeID) bool {
+	for i, n := range ro.nodes {
 		if n.ID() == id {
-			e.nodes = append(e.nodes[:i], e.nodes[i+1:]...)
+			ro.nodes = append(ro.nodes[:i], ro.nodes[i+1:]...)
 			return true
 		}
 	}
@@ -76,8 +114,8 @@ func (e *Engine) Remove(id model.NodeID) bool {
 }
 
 // Has reports whether a node is currently attached.
-func (e *Engine) Has(id model.NodeID) bool {
-	for _, n := range e.nodes {
+func (ro *Roster) Has(id model.NodeID) bool {
+	for _, n := range ro.nodes {
 		if n.ID() == id {
 			return true
 		}
@@ -87,66 +125,159 @@ func (e *Engine) Has(id model.NodeID) bool {
 
 // ScheduleAt queues fn to run at the top of round r, before hooks and node
 // phases. Events scheduled for rounds that already completed never fire.
-func (e *Engine) ScheduleAt(r model.Round, fn Event) {
-	if e.events == nil {
-		e.events = make(map[model.Round][]Event)
+func (ro *Roster) ScheduleAt(r model.Round, fn Event) {
+	if ro.events == nil {
+		ro.events = make(map[model.Round][]Event)
 	}
-	e.events[r] = append(e.events[r], fn)
+	ro.events[r] = append(ro.events[r], fn)
 }
 
 // AddAt schedules a node to join the simulation at the top of round r.
-func (e *Engine) AddAt(r model.Round, p Protocol) {
-	e.ScheduleAt(r, func(model.Round) { e.Add(p) })
+func (ro *Roster) AddAt(r model.Round, p Protocol) {
+	ro.ScheduleAt(r, func(model.Round) { ro.Add(p) })
 }
 
 // RemoveAt schedules a node's detachment at the top of round r.
-func (e *Engine) RemoveAt(r model.Round, id model.NodeID) {
-	e.ScheduleAt(r, func(model.Round) { e.Remove(id) })
+func (ro *Roster) RemoveAt(r model.Round, id model.NodeID) {
+	ro.ScheduleAt(r, func(model.Round) { ro.Remove(id) })
 }
 
 // Nodes returns the registered node count.
-func (e *Engine) Nodes() int { return len(e.nodes) }
+func (ro *Roster) Nodes() int { return len(ro.nodes) }
+
+// OnRoundStart registers a hook invoked at the top of every round.
+func (ro *Roster) OnRoundStart(h RoundHook) { ro.hooks = append(ro.hooks, h) }
+
+// Members returns the attached nodes in registration order. The slice is
+// shared with the roster: callers iterate it, they do not mutate it.
+func (ro *Roster) Members() []Protocol { return ro.nodes }
+
+// OpenRound fires round r's due events and then every hook, in
+// registration order — the single-threaded round-top sequence both
+// engines run before any node acts.
+func (ro *Roster) OpenRound(r model.Round) {
+	if evs, ok := ro.events[r]; ok {
+		delete(ro.events, r)
+		for _, ev := range evs {
+			ev(r)
+		}
+	}
+	for _, h := range ro.hooks {
+		h(r)
+	}
+}
+
+// Meter is the steady-state bandwidth measurement shared by the round
+// engines: a snapshot of traffic counters at StartMeasuring, so warm-up
+// rounds are excluded, as in the paper's steady-state numbers.
+type Meter struct {
+	net      *transport.MemNet
+	baseline map[model.NodeID]transport.Traffic
+	measured model.Round // rounds measured so far
+}
+
+// NewMeter creates a meter over the network the engine runs on.
+func NewMeter(net *transport.MemNet) Meter { return Meter{net: net} }
+
+// Start snapshots the members' traffic counters; bandwidth statistics
+// cover the rounds run afterwards.
+func (m *Meter) Start(members []Protocol) {
+	m.baseline = make(map[model.NodeID]transport.Traffic, len(members))
+	for _, n := range members {
+		m.baseline[n.ID()] = m.net.TrafficOf(n.ID())
+	}
+	m.measured = 0
+}
+
+// RoundDone counts one completed round into the measured window (a no-op
+// before Start).
+func (m *Meter) RoundDone() {
+	if m.baseline != nil {
+		m.measured++
+	}
+}
+
+// NodeBandwidthKbps returns one node's average bandwidth over the measured
+// window in kbps. Each round is one second (§VII-A), and the per-node
+// consumption is the mean of upload and download (dissemination traffic is
+// symmetric in aggregate).
+func (m *Meter) NodeBandwidthKbps(id model.NodeID) float64 {
+	if m.measured == 0 {
+		return 0
+	}
+	tr := m.net.TrafficOf(id)
+	if base, ok := m.baseline[id]; ok {
+		tr = tr.Sub(base)
+	}
+	bytes := float64(tr.BytesIn+tr.BytesOut) / 2
+	seconds := float64(m.measured) * model.RoundDurationSeconds
+	return bytes * 8 / 1000 / seconds
+}
+
+// Sample returns the members' bandwidth distribution over the measured
+// window in ascending id order, excluding the listed nodes (the source is
+// conventionally excluded, as its upload profile is not a client's).
+func (m *Meter) Sample(members []Protocol, exclude ...model.NodeID) stats.Sample {
+	skip := make(map[model.NodeID]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	ids := make([]model.NodeID, 0, len(members))
+	for _, n := range members {
+		ids = append(ids, n.ID())
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	xs := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		if skip[id] {
+			continue
+		}
+		xs = append(xs, m.NodeBandwidthKbps(id))
+	}
+	return stats.NewSample(xs)
+}
+
+// Engine coordinates nodes and the network, stepping every node in one
+// goroutine.
+type Engine struct {
+	Roster
+	meter Meter
+	net   *transport.MemNet
+	round model.Round
+}
+
+// NewEngine creates an engine over a MemNet.
+func NewEngine(net *transport.MemNet) *Engine {
+	return &Engine{net: net, meter: NewMeter(net)}
+}
 
 // Round returns the last completed round (0 before the first).
 func (e *Engine) Round() model.Round { return e.round }
-
-// OnRoundStart registers a hook invoked at the top of every round.
-func (e *Engine) OnRoundStart(h RoundHook) { e.hooks = append(e.hooks, h) }
 
 // RunRound advances one round through the four phases, delivering all
 // pending traffic between phases.
 func (e *Engine) RunRound() {
 	r := e.round + 1
 	e.net.BeginRound()
-	if evs, ok := e.events[r]; ok {
-		delete(e.events, r)
-		for _, ev := range evs {
-			ev(r)
-		}
-	}
-	for _, h := range e.hooks {
-		h(r)
-	}
-	for _, n := range e.nodes {
+	e.OpenRound(r)
+	for _, n := range e.Members() {
 		n.BeginRound(r)
 	}
 	e.net.DeliverAll()
-	for _, n := range e.nodes {
+	for _, n := range e.Members() {
 		n.MidRound(r)
 	}
 	e.net.DeliverAll()
-	for _, n := range e.nodes {
+	for _, n := range e.Members() {
 		n.EndRound(r)
 	}
 	e.net.DeliverAll()
-	for _, n := range e.nodes {
+	for _, n := range e.Members() {
 		n.CloseRound(r)
 	}
 	e.net.DeliverAll()
 	e.round = r
-	if e.baseline != nil {
-		e.measured++
-	}
+	e.meter.RoundDone()
 }
 
 // Run advances n rounds.
@@ -156,58 +287,23 @@ func (e *Engine) Run(n int) {
 	}
 }
 
-// StartMeasuring snapshots traffic counters; bandwidth statistics cover
-// the rounds run afterwards (warm-up rounds are thereby excluded, as in
-// the paper's steady-state measurements).
-func (e *Engine) StartMeasuring() {
-	e.baseline = make(map[model.NodeID]transport.Traffic, len(e.nodes))
-	for _, n := range e.nodes {
-		e.baseline[n.ID()] = e.net.TrafficOf(n.ID())
-	}
-	e.measured = 0
-}
+// StartMeasuring opens the steady-state measurement window (warm-up
+// rounds before it are excluded, as in the paper's measurements).
+func (e *Engine) StartMeasuring() { e.meter.Start(e.Members()) }
 
-// NodeBandwidthKbps returns one node's average bandwidth over the measured
-// window in kbps. Each round is one second (§VII-A), and the per-node
-// consumption is the mean of upload and download (dissemination traffic is
-// symmetric in aggregate).
+// NodeBandwidthKbps returns one node's average bandwidth over the
+// measured window in kbps.
 func (e *Engine) NodeBandwidthKbps(id model.NodeID) float64 {
-	if e.measured == 0 {
-		return 0
-	}
-	tr := e.net.TrafficOf(id)
-	if base, ok := e.baseline[id]; ok {
-		tr = tr.Sub(base)
-	}
-	bytes := float64(tr.BytesIn+tr.BytesOut) / 2
-	seconds := float64(e.measured) * model.RoundDurationSeconds
-	return bytes * 8 / 1000 / seconds
+	return e.meter.NodeBandwidthKbps(id)
 }
 
 // BandwidthSample returns the per-node bandwidth distribution over the
-// measured window, excluding the listed nodes (the source is conventionally
-// excluded, as its upload profile is not a client's).
+// measured window, excluding the listed nodes.
 func (e *Engine) BandwidthSample(exclude ...model.NodeID) stats.Sample {
-	skip := make(map[model.NodeID]bool, len(exclude))
-	for _, id := range exclude {
-		skip[id] = true
-	}
-	xs := make([]float64, 0, len(e.nodes))
-	ids := make([]model.NodeID, 0, len(e.nodes))
-	for _, n := range e.nodes {
-		ids = append(ids, n.ID())
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if skip[id] {
-			continue
-		}
-		xs = append(xs, e.NodeBandwidthKbps(id))
-	}
-	return stats.NewSample(xs)
+	return e.meter.Sample(e.Members(), exclude...)
 }
 
 // String summarises engine state.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{nodes: %d, round: %v}", len(e.nodes), e.round)
+	return fmt.Sprintf("sim.Engine{nodes: %d, round: %v}", e.Nodes(), e.round)
 }

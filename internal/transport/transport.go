@@ -14,6 +14,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/model"
@@ -89,17 +90,46 @@ type DropFunc func(Message) bool
 // messages are handed to handlers when the simulation engine calls
 // DeliverPending/DeliverAll, which keeps rounds deterministic.
 //
+// Sends never touch shared delivery state directly: each endpoint buffers
+// its outbound messages locally (per-sender FIFO), and the buffers are
+// merged at the next delivery point in canonical order — ascending sender
+// id, then send sequence. The fault plane (loss, partitions, caps)
+// and all traffic charging are applied during that merge, so the outcome
+// of a seeded run depends only on what each node sent, never on the
+// goroutine or engine interleaving that produced the sends. This is the
+// invariant the parallel round engine's byte-identical guarantee rests on:
+// any scheduler that lets every node produce its per-phase sends yields
+// the same canonical message stream.
+//
 // Beyond the raw DropFunc hook, MemNet carries a schedulable fault plane —
 // uniform and per-link loss rates, partitions that open and heal, per-node
 // down flags and per-round upload caps — all driven by a seeded PRNG so a
-// faulty run replays byte-identically under the same seed.
+// faulty run replays byte-identically under the same seed and at any
+// worker count.
 type MemNet struct {
-	mu       sync.Mutex
-	handlers map[model.NodeID]Handler
-	queue    []Message
-	traffic  map[model.NodeID]*Traffic
-	drop     DropFunc
-	dropped  uint64
+	// regMu guards the endpoint/handler registry. During a simulation
+	// phase it is almost only read (Send checks the destination), so
+	// concurrent senders share it; Register/Unregister happen between
+	// phases.
+	//
+	// endpoints is an identity map: an id's endpoint is created once and
+	// survives Unregister/Register cycles, so every handle ever returned
+	// for an id stays usable. active is the merge set — the endpoints
+	// TakeWave drains — pruned when an unregistered sender's outbox runs
+	// dry and re-attached by its next Send, which keeps merge cost
+	// proportional to live senders, not to every id ever seen.
+	regMu     sync.RWMutex
+	handlers  map[model.NodeID]Handler
+	endpoints map[model.NodeID]*memEndpoint
+	active    map[model.NodeID]*memEndpoint
+
+	// mu guards the traffic accounts and the fault plane. Everything
+	// under it is touched only at merge/delivery points, which are
+	// single-threaded even under the parallel engine.
+	mu      sync.Mutex
+	traffic map[model.NodeID]*Traffic
+	drop    DropFunc
+	dropped uint64
 
 	// Fault plane (all zero-valued ⇒ a perfect network).
 	faultRNG  model.SplitMix64
@@ -117,12 +147,14 @@ var _ Network = (*MemNet)(nil)
 // NewMemNet creates an empty in-memory network.
 func NewMemNet() *MemNet {
 	return &MemNet{
-		handlers: make(map[model.NodeID]Handler),
-		traffic:  make(map[model.NodeID]*Traffic),
-		faultRNG: model.SplitMix64{State: 0x9E3779B97F4A7C15},
-		down:     make(map[model.NodeID]bool),
-		caps:     make(map[model.NodeID]uint64),
-		spent:    make(map[model.NodeID]uint64),
+		handlers:  make(map[model.NodeID]Handler),
+		endpoints: make(map[model.NodeID]*memEndpoint),
+		active:    make(map[model.NodeID]*memEndpoint),
+		traffic:   make(map[model.NodeID]*Traffic),
+		faultRNG:  model.SplitMix64{State: 0x9E3779B97F4A7C15},
+		down:      make(map[model.NodeID]bool),
+		caps:      make(map[model.NodeID]uint64),
+		spent:     make(map[model.NodeID]uint64),
 	}
 }
 
@@ -134,26 +166,48 @@ func (n *MemNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
 	if h == nil {
 		return nil, errors.New("transport: nil handler")
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.regMu.Lock()
 	if _, ok := n.handlers[id]; ok {
+		n.regMu.Unlock()
 		return nil, fmt.Errorf("transport: node %v already registered", id)
 	}
 	n.handlers[id] = h
+	ep, known := n.endpoints[id]
+	if !known {
+		ep = &memEndpoint{net: n, id: id}
+		n.endpoints[id] = ep
+	}
+	n.active[id] = ep
+	n.regMu.Unlock()
+	// regMu and mu are never nested (lock-order hygiene): the traffic
+	// account is (re)initialised in a separate critical section.
+	n.mu.Lock()
 	n.traffic[id] = &Traffic{}
-	return &memEndpoint{net: n, id: id}, nil
+	n.mu.Unlock()
+	return ep, nil
 }
 
 // Unregister detaches a node's handler so its id can be registered again
 // later; queued messages to it are silently discarded at delivery and its
-// traffic counters survive. It reports whether the node was registered.
+// traffic counters survive. The endpoint keeps working as a sender (only
+// destinations are gated on registration): a drained endpoint leaves the
+// merge set but its next Send re-attaches it. It reports whether the node
+// was registered.
 func (n *MemNet) Unregister(id model.NodeID) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
 	if _, ok := n.handlers[id]; !ok {
 		return false
 	}
 	delete(n.handlers, id)
+	if ep := n.active[id]; ep != nil {
+		ep.mu.Lock()
+		drained := len(ep.outbox) == 0
+		ep.mu.Unlock()
+		if drained {
+			delete(n.active, id)
+		}
+	}
 	return true
 }
 
@@ -293,79 +347,169 @@ func clampProb(p float64) float64 {
 	}
 }
 
-// PendingCount returns the number of queued, undelivered messages.
-func (n *MemNet) PendingCount() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.queue)
+// mergeSet snapshots the active endpoints in canonical (ascending id)
+// order.
+func (n *MemNet) mergeSet() []*memEndpoint {
+	n.regMu.RLock()
+	eps := make([]*memEndpoint, 0, len(n.active))
+	for _, ep := range n.active {
+		eps = append(eps, ep)
+	}
+	n.regMu.RUnlock()
+	sort.Slice(eps, func(i, j int) bool { return eps[i].id < eps[j].id })
+	return eps
 }
 
-// send enqueues a message, charging the sender immediately (unless the
-// sender's upload cap swallowed it before it left the NIC).
-func (n *MemNet) send(msg Message) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.handlers[msg.To]; !ok {
-		return fmt.Errorf("transport: unknown destination %v", msg.To)
+// PendingCount returns the number of undelivered messages (the
+// endpoints' unflushed outboxes; nothing is queued between waves).
+func (n *MemNet) PendingCount() int {
+	total := 0
+	for _, ep := range n.mergeSet() {
+		ep.mu.Lock()
+		total += len(ep.outbox)
+		ep.mu.Unlock()
 	}
+	return total
+}
+
+// admit runs one merged message through the fault plane and reports
+// whether it survives; callers hold n.mu. The sender is charged here
+// (unless its upload cap swallowed the message before it left the NIC) —
+// at the merge point, in canonical order, so the charge sequence and every
+// PRNG consultation are independent of how the sends were scheduled.
+func (n *MemNet) admit(msg Message) bool {
 	size := uint64(msg.WireSize())
 	if limit, ok := n.caps[msg.From]; ok && n.spent[msg.From]+size > limit {
 		n.capDrops++
 		n.dropped++
-		return nil
+		return false
 	}
 	n.spent[msg.From] += size
 	tr := n.traffic[msg.From]
+	if tr == nil {
+		tr = &Traffic{}
+		n.traffic[msg.From] = tr
+	}
 	tr.BytesOut += size
 	tr.MsgsOut++
 	if n.drop != nil && n.drop(msg) {
 		n.dropped++
-		return nil
+		return false
 	}
 	if n.faultDrop(msg) {
 		n.dropped++
-		return nil
+		return false
 	}
-	n.queue = append(n.queue, msg)
-	return nil
+	return true
 }
 
-// DeliverPending delivers the currently queued messages (a snapshot —
-// messages sent by handlers during delivery are queued for the next wave)
-// and returns how many were delivered.
-func (n *MemNet) DeliverPending() int {
-	n.mu.Lock()
-	batch := n.queue
-	n.queue = nil
-	n.mu.Unlock()
+// Delivery is one deliverable message paired with its destination's
+// handler, as returned by TakeWave. The receiver has already been charged.
+type Delivery struct {
+	Msg     Message
+	Handler Handler
+}
 
-	for _, msg := range batch {
-		n.mu.Lock()
-		// A node that crashed while the message was in flight never
-		// receives it.
-		if n.down[msg.To] {
-			n.dropped++
-			n.mu.Unlock()
+// TakeWave merges every endpoint's outbox into the queue in canonical
+// order (ascending sender id, per-sender send sequence), applies the fault
+// plane and all traffic charging, and drains the resulting wave. The
+// caller is responsible for invoking each Delivery's handler — in slice
+// order for a serial run, or partitioned by destination for a sharded run
+// (per-destination subsequences preserve the canonical order either way).
+func (n *MemNet) TakeWave() []Delivery {
+	// Drain the outboxes sender by sender in canonical order. Drained
+	// endpoints whose id is no longer registered fall out of the merge
+	// set (their next Send re-attaches them).
+	var inflow []Message
+	eps := n.mergeSet()
+	for _, ep := range eps {
+		ep.mu.Lock()
+		if len(ep.outbox) > 0 {
+			inflow = append(inflow, ep.outbox...)
+			ep.outbox = nil
+		}
+		ep.mu.Unlock()
+	}
+	n.pruneDeparted(eps)
+
+	n.mu.Lock()
+	out := make([]Delivery, 0, len(inflow))
+	for _, msg := range inflow {
+		// The fault plane (including down senders/receivers) filters at
+		// admission; survivors are charged to the receiver immediately —
+		// nothing stays queued between waves.
+		if !n.admit(msg) {
 			continue
 		}
-		h := n.handlers[msg.To]
 		tr := n.traffic[msg.To]
+		if tr == nil {
+			tr = &Traffic{}
+			n.traffic[msg.To] = tr
+		}
 		tr.BytesIn += uint64(msg.WireSize())
 		tr.MsgsIn++
-		n.mu.Unlock()
-		if h != nil {
-			h(msg)
+		out = append(out, Delivery{Msg: msg})
+	}
+	n.mu.Unlock()
+
+	// Resolve handlers outside n.mu (regMu and mu are never nested). A
+	// destination unregistered while the message was queued was charged
+	// above but is silently discarded, as before.
+	n.regMu.RLock()
+	kept := out[:0]
+	for _, d := range out {
+		if h := n.handlers[d.Msg.To]; h != nil {
+			d.Handler = h
+			kept = append(kept, d)
 		}
 	}
-	return len(batch)
+	n.regMu.RUnlock()
+	return kept
 }
 
-// DeliverAll delivers waves until the queue drains, with a generous safety
-// cap against protocol livelock. It returns the total delivered.
+// pruneDeparted drops endpoints from the merge set when their sender is
+// unregistered and their outbox is empty; the membership and emptiness
+// are rechecked under the registry lock, so a racing Send or Register
+// keeps the endpoint attached.
+func (n *MemNet) pruneDeparted(eps []*memEndpoint) {
+	n.regMu.Lock()
+	for _, ep := range eps {
+		if _, registered := n.handlers[ep.id]; registered {
+			continue
+		}
+		ep.mu.Lock()
+		drained := len(ep.outbox) == 0
+		ep.mu.Unlock()
+		if drained {
+			delete(n.active, ep.id)
+		}
+	}
+	n.regMu.Unlock()
+}
+
+// DeliverPending delivers the currently pending messages (a snapshot —
+// messages sent by handlers during delivery are buffered for the next
+// wave) and returns how many were delivered.
+func (n *MemNet) DeliverPending() int {
+	wave := n.TakeWave()
+	for _, d := range wave {
+		d.Handler(d.Msg)
+	}
+	return len(wave)
+}
+
+// MaxDeliveryWaves caps how many delivery waves a round engine drains at
+// one phase barrier — a generous safety net against protocol livelock.
+// The serial and parallel engines must share this cap: if a run ever hit
+// a smaller cap on one engine only, the two would deliver different
+// message sets and break the byte-identical invariant.
+const MaxDeliveryWaves = 64
+
+// DeliverAll delivers waves until the queue drains, capped at
+// MaxDeliveryWaves. It returns the total delivered.
 func (n *MemNet) DeliverAll() int {
-	const maxWaves = 64
 	total := 0
-	for wave := 0; wave < maxWaves; wave++ {
+	for wave := 0; wave < MaxDeliveryWaves; wave++ {
 		d := n.DeliverPending()
 		total += d
 		if d == 0 {
@@ -406,15 +550,38 @@ func (n *MemNet) ResetTraffic() {
 	n.dropped = 0
 }
 
+// memEndpoint buffers a node's outbound messages until the next merge
+// point. During a simulation phase an endpoint is driven by exactly one
+// goroutine (its node's), so the mutex is uncontended; it exists for users
+// that share an endpoint across goroutines.
 type memEndpoint struct {
 	net *MemNet
 	id  model.NodeID
+
+	mu     sync.Mutex
+	outbox []Message
 }
 
 func (e *memEndpoint) NodeID() model.NodeID { return e.id }
 
 func (e *memEndpoint) Send(to model.NodeID, kind uint8, payload []byte) error {
+	e.net.regMu.RLock()
+	_, known := e.net.handlers[to]
+	attached := e.net.active[e.id] == e
+	e.net.regMu.RUnlock()
+	if !known {
+		return fmt.Errorf("transport: unknown destination %v", to)
+	}
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
-	return e.net.send(Message{From: e.id, To: to, Kind: kind, Payload: cp})
+	e.mu.Lock()
+	e.outbox = append(e.outbox, Message{From: e.id, To: to, Kind: kind, Payload: cp})
+	e.mu.Unlock()
+	if !attached {
+		// A sender pruned after its id departed rejoins the merge set.
+		e.net.regMu.Lock()
+		e.net.active[e.id] = e
+		e.net.regMu.Unlock()
+	}
+	return nil
 }

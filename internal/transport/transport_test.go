@@ -235,3 +235,44 @@ func TestWireSize(t *testing.T) {
 		t.Fatalf("WireSize = %d", m.WireSize())
 	}
 }
+
+func TestMemNetEndpointSurvivesReRegistration(t *testing.T) {
+	n := NewMemNet()
+	got := 0
+	_, _ = n.Register(2, func(Message) { got++ })
+	ep1, _ := n.Register(1, func(Message) {})
+
+	// Unregister with a buffered message: the endpoint stays in the
+	// merge set and the message still reaches its destination.
+	_ = ep1.Send(2, 0, []byte("buffered"))
+	n.Unregister(1)
+	n.DeliverAll()
+	if got != 1 {
+		t.Fatalf("buffered message lost across Unregister: delivered %d", got)
+	}
+
+	// Now drained and unregistered: the endpoint is pruned from the
+	// merge set, but a later Send from the stale handle re-attaches it.
+	n.DeliverAll()
+	_ = ep1.Send(2, 0, []byte("stale handle"))
+	n.DeliverAll()
+	if got != 2 {
+		t.Fatalf("stale-handle send lost after prune: delivered %d", got)
+	}
+
+	// Re-registration reuses the same endpoint identity: the old handle
+	// and the new one feed one outbox, in send order.
+	ep1b, err := n.Register(1, func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ep1.Send(2, 0, []byte("old handle"))
+	_ = ep1b.Send(2, 0, []byte("new handle"))
+	n.DeliverAll()
+	if got != 4 {
+		t.Fatalf("handles diverged after re-registration: delivered %d", got)
+	}
+	if ep1 != ep1b {
+		t.Fatal("re-registration minted a second endpoint for the same id")
+	}
+}

@@ -22,9 +22,11 @@ package pag
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/acting"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hhash"
 	"repro/internal/membership"
 	"repro/internal/model"
@@ -117,6 +119,13 @@ type SessionConfig struct {
 	// round (see internal/scenario). Nil runs the static, fault-free
 	// population of the paper's baseline measurements.
 	Scenario *scenario.Scenario
+	// Workers selects the round engine: 0 runs the serial engine
+	// (internal/sim), n > 0 the sharded parallel engine (internal/engine)
+	// with n workers, and n < 0 the parallel engine with GOMAXPROCS
+	// workers. Every setting produces byte-identical runs from the same
+	// seed — the engines merge traffic in a canonical order at phase
+	// barriers — so Workers is purely a wall-clock knob.
+	Workers int
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -164,8 +173,19 @@ func (c SessionConfig) withDefaults() SessionConfig {
 type Session struct {
 	cfg    SessionConfig
 	net    *transport.MemNet
-	engine *sim.Engine
+	engine sim.Stepper
 	source *streaming.Source
+
+	// engineKind / engineWorkers describe the selected round engine
+	// ("serial" or "parallel"; effective worker count) for run metadata.
+	engineKind    string
+	engineWorkers int
+
+	// verdictMu serialises verdict-sink appends: under the parallel
+	// engine, nodes raise verdicts from worker goroutines. Reports only
+	// aggregate verdicts by accused and round, so append order never
+	// reaches an output.
+	verdictMu sync.Mutex
 
 	// suite / params / dir are kept for mid-run node construction
 	// (scenario joins mint fresh identities against the same PKI and
@@ -217,7 +237,14 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		joinedChunk: make(map[model.NodeID]uint64),
 		departed:    make(map[model.NodeID]model.Round),
 	}
-	s.engine = sim.NewEngine(s.net)
+	if c.Workers == 0 {
+		s.engine = sim.NewEngine(s.net)
+		s.engineKind, s.engineWorkers = "serial", 1
+	} else {
+		pe := engine.New(s.net, c.Workers)
+		s.engine = pe
+		s.engineKind, s.engineWorkers = "parallel", pe.Workers()
+	}
 	s.net.SetFaultSeed(c.Seed)
 
 	ids := make([]model.NodeID, c.Nodes)
@@ -313,7 +340,30 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		s.engine.OnRoundStart(func(r model.Round) { tl.Apply(r, s) })
 	}
 	s.engine.OnRoundStart(func(r model.Round) { _ = s.source.Tick(r) })
+	// Prewarm the round's membership view after any scheduled churn has
+	// landed, so concurrent node steps hit a read-only snapshot instead
+	// of racing to build it.
+	s.engine.OnRoundStart(func(r model.Round) { s.dir.View(r) })
 	return s, nil
+}
+
+// EngineInfo describes the round engine a run executed on. It is run
+// metadata, not part of the measured results: byte-identical runs are
+// produced at every worker count.
+type EngineInfo struct {
+	// Kind is "serial" (internal/sim) or "parallel" (internal/engine).
+	Kind string `json:"kind"`
+	// Workers is the effective worker count (1 for the serial engine).
+	Workers int `json:"workers"`
+	// ReportDigest, when set by a report writer, is the SHA-256 of the
+	// report's deterministic portion (everything except this field's
+	// struct) — the value to compare across machines and worker counts.
+	ReportDigest string `json:"report_digest,omitempty"`
+}
+
+// EngineInfo returns the session's engine metadata.
+func (s *Session) EngineInfo() EngineInfo {
+	return EngineInfo{Kind: s.engineKind, Workers: s.engineWorkers}
 }
 
 // Run advances the session by n rounds.
@@ -331,6 +381,12 @@ func (s *Session) Round() model.Round { return s.engine.Round() }
 // Fig 7).
 func (s *Session) BandwidthSample() stats.Sample {
 	return s.engine.BandwidthSample(SourceID)
+}
+
+// NodeBandwidthKbps returns one node's average bandwidth over the
+// measured window in kbps.
+func (s *Session) NodeBandwidthKbps(id model.NodeID) float64 {
+	return s.engine.NodeBandwidthKbps(id)
 }
 
 // Player returns a node's playback metrics.

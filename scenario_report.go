@@ -1,6 +1,7 @@
 package pag
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 
@@ -17,6 +18,21 @@ type ScenarioReport struct {
 	Nodes     int               `json:"nodes"`
 	Seed      uint64            `json:"seed"`
 	Protocols []ProtocolRun     `json:"protocols"`
+	// Engine records how the run was executed (engine kind, worker
+	// count) plus the digest of everything else. It is the one field
+	// excluded from Digest(), so reports taken on different machines or
+	// at different worker counts stay byte-comparable: strip Engine, or
+	// compare Digest().
+	Engine *EngineInfo `json:"engine,omitempty"`
+}
+
+// Digest returns the SHA-256 (hex) of the report's deterministic portion:
+// the JSON rendering with the Engine metadata stripped. Two runs of the
+// same scenario and seed have equal digests regardless of engine kind,
+// worker count or host.
+func (r ScenarioReport) Digest() string {
+	r.Engine = nil
+	return fmt.Sprintf("%x", sha256.Sum256(r.JSON()))
 }
 
 // ProtocolRun is one protocol's measurements under the scenario.
@@ -127,6 +143,13 @@ func RunScenarioReport(base SessionConfig, sc scenario.Scenario,
 			run.Journal = []scenario.Applied{}
 		}
 		report.Protocols = append(report.Protocols, run)
+		if report.Engine == nil {
+			info := s.EngineInfo()
+			report.Engine = &info
+		}
+	}
+	if report.Engine != nil {
+		report.Engine.ReportDigest = report.Digest()
 	}
 	return report, nil
 }

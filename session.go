@@ -16,6 +16,30 @@ import (
 
 // This file wires the three protocol node types into a Session.
 
+// addPAGVerdict / addActingVerdict / addRACVerdict are the nodes' verdict
+// sinks. Under the parallel engine they are hit from worker goroutines
+// concurrently, so appends are serialised; every consumer aggregates
+// verdicts by accused/round, never by append order, which keeps reports
+// byte-identical at any worker count.
+
+func (s *Session) addPAGVerdict(v core.Verdict) {
+	s.verdictMu.Lock()
+	s.PAGVerdicts = append(s.PAGVerdicts, v)
+	s.verdictMu.Unlock()
+}
+
+func (s *Session) addActingVerdict(v acting.Verdict) {
+	s.verdictMu.Lock()
+	s.ActingVerdicts = append(s.ActingVerdicts, v)
+	s.verdictMu.Unlock()
+}
+
+func (s *Session) addRACVerdict(v rac.Verdict) {
+	s.verdictMu.Lock()
+	s.RACVerdicts = append(s.RACVerdicts, v)
+	s.verdictMu.Unlock()
+}
+
 func (s *Session) buildPAGNode(id model.NodeID, suite pki.Suite, identity pki.Identity,
 	params hhash.Params, dir *membership.Directory, player *streaming.Player) (*core.Node, error) {
 	var node *core.Node
@@ -35,7 +59,7 @@ func (s *Session) buildPAGNode(id model.NodeID, suite pki.Suite, identity pki.Id
 		PrimeBits:       s.cfg.PrimeBits,
 		BuffermapWindow: s.cfg.BuffermapWindow,
 		Behavior:        s.cfg.PAGBehaviors[id],
-		Verdicts:        func(v core.Verdict) { s.PAGVerdicts = append(s.PAGVerdicts, v) },
+		Verdicts:        func(v core.Verdict) { s.addPAGVerdict(v) },
 		OnDeliver:       player.OnDeliver,
 	})
 	if err != nil {
@@ -60,7 +84,7 @@ func (s *Session) buildActingNode(id model.NodeID, suite pki.Suite, identity pki
 		Sources:     []model.NodeID{SourceID},
 		AuditPeriod: s.cfg.AuditPeriod,
 		Behavior:    s.cfg.ActingBehaviors[id],
-		Verdicts:    func(v acting.Verdict) { s.ActingVerdicts = append(s.ActingVerdicts, v) },
+		Verdicts:    func(v acting.Verdict) { s.addActingVerdict(v) },
 		OnDeliver:   player.OnDeliver,
 	})
 	if err != nil {
@@ -85,7 +109,7 @@ func (s *Session) buildRACNode(id model.NodeID, suite pki.Suite, identity pki.Id
 		Sources:   []model.NodeID{SourceID},
 		SlotBytes: s.cfg.UpdateBytes,
 		Behavior:  s.cfg.RACBehaviors[id],
-		Verdicts:  func(v rac.Verdict) { s.RACVerdicts = append(s.RACVerdicts, v) },
+		Verdicts:  func(v rac.Verdict) { s.addRACVerdict(v) },
 		OnDeliver: player.OnDeliver,
 	})
 	if err != nil {
