@@ -36,7 +36,12 @@ type sizeResult struct {
 	Nodes           float64 `json:"nodes"`
 	SerialSeconds   float64 `json:"serial_seconds"`
 	ParallelSeconds float64 `json:"parallel_seconds"`
-	Speedup         float64 `json:"speedup"`
+	// Speedup is omitted (with SpeedupNote explaining why) when the host
+	// cannot physically exhibit one — a single-core box times the worker
+	// pool's overhead, not its parallelism, and a recorded "1.0x" would
+	// misread as "the parallel engine gives no speedup".
+	Speedup         float64 `json:"speedup,omitempty"`
+	SpeedupNote     string  `json:"speedup_note,omitempty"`
 	RoundsPerSecSer float64 `json:"serial_rounds_per_sec"`
 	RoundsPerSecPar float64 `json:"parallel_rounds_per_sec"`
 	Identical       bool    `json:"byte_identical"`
@@ -107,9 +112,13 @@ func run() int {
 			return 1
 		}
 		report.Results = append(report.Results, res)
+		headline := fmt.Sprintf("speedup %.2fx", res.Speedup)
+		if res.SpeedupNote != "" {
+			headline = res.SpeedupNote
+		}
 		fmt.Fprintf(os.Stderr,
-			"pag-bench: N=%-4d serial %6.2fs  parallel(%d workers) %6.2fs  speedup %.2fx  identical=%v\n",
-			n, res.SerialSeconds, *workers, res.ParallelSeconds, res.Speedup, res.Identical)
+			"pag-bench: N=%-4d serial %6.2fs  parallel(%d workers) %6.2fs  %s  identical=%v\n",
+			n, res.SerialSeconds, *workers, res.ParallelSeconds, headline, res.Identical)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -176,8 +185,23 @@ func benchSize(nodes, rounds, warmup, stream, modBits, workers int, seed uint64)
 		RoundsPerSecPar: float64(rounds) / parallel.Seconds(),
 		Identical:       serFP == parFP,
 	}
-	if res.Identical {
+	switch {
+	case !res.Identical:
+	case effectiveParallelism() <= 1:
+		res.SpeedupNote = fmt.Sprintf(
+			"speedup withheld: single-core host (NumCPU=%d, GOMAXPROCS=%d) cannot exhibit parallel speedup; re-record on a multicore box",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	default:
 		res.Speedup = serial.Seconds() / parallel.Seconds()
 	}
 	return res, nil
+}
+
+// effectiveParallelism is how many node steps can actually run at once.
+func effectiveParallelism() int {
+	p := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < p {
+		p = n
+	}
+	return p
 }

@@ -12,6 +12,26 @@
 // Every process derives the same membership assignment from the shared
 // seed, ticks rounds on a wall-clock period (1 s by default, §VII-A), and
 // prints its delivery and bandwidth summary at the end.
+//
+// # Scenarios over real sockets
+//
+// -scenario runs a scripted timeline (a canned name from pag-scenario
+// -list, or a JSON file) against the deployment: every process compiles
+// the identical timeline from the shared seed and applies it at the top
+// of each round, so loss, partitions, upload caps, churn and adversary
+// activation fire deterministically and identically everywhere — no
+// coordinator. Network faults drive the local transport's fault plane on
+// the wire path (each message is admitted once, at its sender).
+//
+// Churn maps onto the roster: -members k makes the k lowest roster ids
+// the founding membership and keeps the rest as standby joiners, consumed
+// in ascending order by the timeline's join events; a standby process
+// idles until its join round, then registers its endpoint (a real mid-run
+// listen) and participates. Leaves and crashes silence the victim — its
+// process deregisters from the wire — and remove it from every process's
+// membership view at the scripted round.
+//
+//	pag-node -id 4 -roster roster.txt -members 3 -scenario steady-churn
 package main
 
 import (
@@ -19,8 +39,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -28,6 +50,7 @@ import (
 	"repro/internal/membership"
 	"repro/internal/model"
 	"repro/internal/pki"
+	"repro/internal/scenario"
 	"repro/internal/streaming"
 	"repro/internal/transport"
 )
@@ -45,6 +68,8 @@ func run() int {
 		period  = flag.Duration("period", time.Second, "gossip period (round duration)")
 		seed    = flag.Uint64("seed", 1, "shared membership seed")
 		modBits = flag.Int("modulus", 128, "homomorphic modulus bits (512 for paper-faithful)")
+		scFlag  = flag.String("scenario", "", "scripted timeline: canned scenario name or JSON file (all processes must pass the same value)")
+		members = flag.Int("members", 0, "founding member count: the lowest ids of the roster (0 = all; the rest are standby joiners for the scenario)")
 	)
 	flag.Parse()
 	if *id == 0 || *roster == "" {
@@ -64,24 +89,80 @@ func run() int {
 		return 1
 	}
 
-	if err := runNode(self, book, *rounds, *stream, *period, *seed, *modBits); err != nil {
+	// The founding membership is the k lowest roster ids; without a
+	// scenario nothing can ever join, so everyone founds. A count beyond
+	// the roster is a misconfiguration (likely a truncated roster file),
+	// not a default to silently fall back from.
+	if *members > len(book) {
+		fmt.Fprintf(os.Stderr, "pag-node: -members %d exceeds the %d-node roster\n", *members, len(book))
+		return 2
+	}
+	founding := *members
+	if founding <= 0 || *scFlag == "" {
+		founding = len(book)
+	}
+
+	var sc *scenario.Scenario
+	if *scFlag != "" {
+		// Canned scenarios size their targets (adversaries, islanders,
+		// joiner counts) to the *founding* membership — those are the
+		// ids that exist as members when the timeline fires; the rest of
+		// the roster is standby capacity for its join events.
+		loaded, err := loadScenario(*scFlag, founding, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pag-node:", err)
+			return 1
+		}
+		sc = &loaded
+		if *rounds < sc.Rounds {
+			*rounds = sc.Rounds
+		}
+	}
+
+	if err := runNode(self, book, *rounds, *stream, *period, *seed, *modBits, sc, founding); err != nil {
 		fmt.Fprintln(os.Stderr, "pag-node:", err)
 		return 1
 	}
 	return 0
 }
 
+// loadScenario resolves -scenario: a file path if one exists there, else a
+// canned name sized for the roster. Canned timelines take the shared seed
+// (identical flags ⇒ identical timelines in every process); a file keeps
+// its own seed, like pag-scenario.
+func loadScenario(nameOrPath string, rosterSize int, seed uint64) (scenario.Scenario, error) {
+	data, err := os.ReadFile(nameOrPath)
+	switch {
+	case err == nil:
+		return scenario.ParseJSON(data)
+	case !os.IsNotExist(err):
+		// The file exists but cannot be read: report that, never fall
+		// back to a canned name (processes could silently load
+		// different scripts).
+		return scenario.Scenario{}, err
+	}
+	sc, err := scenario.ByName(nameOrPath, rosterSize)
+	if err != nil {
+		return scenario.Scenario{}, fmt.Errorf("scenario %q is neither a file nor a canned name: %w", nameOrPath, err)
+	}
+	sc.Seed = seed
+	return sc, nil
+}
+
 // runNode assembles and drives one TCP node to completion.
 func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps int,
-	period time.Duration, seed uint64, modBits int) error {
+	period time.Duration, seed uint64, modBits int, sc *scenario.Scenario, founding int) error {
 	ids := make([]model.NodeID, 0, len(book))
 	for id := range book {
 		ids = append(ids, id)
 	}
-	dir, err := membership.New(ids, membership.Config{
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	foundingIDs, standby := ids[:founding], ids[founding:]
+
+	dir, err := membership.New(foundingIDs, membership.Config{
 		Seed:     seed,
-		Fanout:   model.FanoutFor(len(ids)),
-		Monitors: model.FanoutFor(len(ids)),
+		Fanout:   model.FanoutFor(len(foundingIDs)),
+		Monitors: model.FanoutFor(len(foundingIDs)),
 	})
 	if err != nil {
 		return err
@@ -111,37 +192,48 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 	net := transport.NewTCPNet(book)
 	defer func() { _ = net.Close() }()
 
-	player := streaming.NewPlayer(0)
-	var node *core.Node
-	ep, err := net.Register(self, func(m transport.Message) { node.HandleMessage(m) })
-	if err != nil {
-		return err
+	d := &deployment{
+		self:       self,
+		net:        net,
+		dir:        dir,
+		suite:      suite,
+		identities: identities,
+		params:     params,
+		modBits:    modBits,
+		members:    make(map[model.NodeID]bool, len(foundingIDs)),
+		departed:   make(map[model.NodeID]model.Round),
+		standby:    append([]model.NodeID(nil), standby...),
+		pending:    make(map[model.Round][]func(model.Round)),
+		player:     streaming.NewPlayer(0),
 	}
-	node, err = core.NewNode(core.Config{
-		ID:         self,
-		Suite:      suite,
-		Identity:   identities[self],
-		HashParams: params,
-		Directory:  dir,
-		Endpoint:   ep,
-		Sources:    []model.NodeID{1},
-		IsSource:   self == 1,
-		PrimeBits:  modBits,
-		OnDeliver:  player.OnDeliver,
-		Verdicts: func(v core.Verdict) {
-			fmt.Printf("[%v] VERDICT %v\n", self, v)
-		},
-	})
-	if err != nil {
-		return err
+	for _, nid := range foundingIDs {
+		d.members[nid] = true
+	}
+
+	if d.members[self] {
+		if err := d.activate(); err != nil {
+			return err
+		}
+	} else if sc == nil {
+		return fmt.Errorf("node %v is outside the founding membership (-members %d) but no -scenario will ever join it", self, founding)
 	}
 
 	var source *streaming.Source
-	if self == 1 {
-		source, err = streaming.NewSource(0, identities[1], node, streamKbps, 0, 0)
+	if self == 1 && d.node != nil {
+		source, err = streaming.NewSource(0, identities[1], d.node, streamKbps, 0, 0)
 		if err != nil {
 			return err
 		}
+	}
+
+	var timeline *scenario.Timeline
+	if sc != nil {
+		timeline, err = scenario.Compile(*sc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%v] scenario %q: %d rounds, %d founding members, %d standby\n",
+			self, sc.Name, sc.Rounds, len(foundingIDs), len(standby))
 	}
 
 	fmt.Printf("[%v] joined %d-node deployment, %d rounds at %v\n",
@@ -149,25 +241,270 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 	ticker := time.NewTicker(period)
 	defer ticker.Stop()
 	for r := model.Round(1); r <= model.Round(rounds); r++ {
+		net.BeginRound()
+		for _, fn := range d.pending[r] {
+			fn(r)
+		}
+		delete(d.pending, r)
+		if timeline != nil {
+			timeline.Apply(r, d)
+		}
+		if d.node == nil {
+			<-ticker.C // standby or departed: stay in wall-clock lockstep
+			continue
+		}
 		if source != nil {
 			if err := source.Tick(r); err != nil {
 				return err
 			}
 		}
-		node.BeginRound(r)
+		d.node.BeginRound(r)
 		time.Sleep(period / 4)
-		node.MidRound(r)
+		d.node.MidRound(r)
 		time.Sleep(period / 4)
-		node.EndRound(r)
+		d.node.EndRound(r)
 		time.Sleep(period / 4)
-		node.CloseRound(r)
+		d.node.CloseRound(r)
 		<-ticker.C
 	}
 
-	st := node.Stats()
-	fmt.Printf("[%v] done: delivered %d updates, %d hash ops, %d signatures\n",
-		self, st.UpdatesDelivered, st.HashOps, st.SigOps)
+	if timeline != nil {
+		applied, failed := 0, 0
+		for _, e := range timeline.Journal() {
+			applied++
+			if e.Err != "" {
+				failed++
+			}
+		}
+		fmt.Printf("[%v] scenario journal: %d events (%d failed), dropped %d on the wire (%d by caps)\n",
+			self, applied, failed, net.Dropped(), net.CapDrops())
+	}
+	if d.node != nil {
+		st := d.node.Stats()
+		fmt.Printf("[%v] done: delivered %d updates, %d hash ops, %d signatures\n",
+			self, st.UpdatesDelivered, st.HashOps, st.SigOps)
+	} else {
+		fmt.Printf("[%v] done: departed or never joined; delivered %d updates before leaving\n",
+			self, d.player.Delivered())
+	}
 	return nil
+}
+
+// deployment is one process's view of a scripted TCP deployment: it
+// implements scenario.Applier so the shared timeline can drive churn,
+// faults and adversary activation against real sockets. Every process
+// applies the identical event stream; only the self-targeted effects
+// (activation, deregistration, behavior flips) differ per process.
+type deployment struct {
+	self       model.NodeID
+	net        *transport.TCPNet
+	dir        *membership.Directory
+	suite      pki.Suite
+	identities map[model.NodeID]pki.Identity
+	params     hhash.Params
+	modBits    int
+
+	node   *core.Node // nil while standby or after departure
+	player *streaming.Player
+
+	members  map[model.NodeID]bool
+	departed map[model.NodeID]model.Round
+	standby  []model.NodeID // ascending; consumed by join events
+	pending  map[model.Round][]func(model.Round)
+}
+
+var _ scenario.Applier = (*deployment)(nil)
+
+// activate constructs and registers the local protocol node (at startup
+// for founding members, at the scripted join round for standby ones — a
+// real mid-run listen). The listener accepts before core.NewNode
+// finishes, and peers may already be gossiping at this id (their round
+// top ran a beat earlier), so the handler loads the node atomically and
+// drops frames that arrive before construction completes — gossip
+// redundancy recovers them.
+func (d *deployment) activate() error {
+	var node atomic.Pointer[core.Node]
+	ep, err := d.net.Register(d.self, func(m transport.Message) {
+		if n := node.Load(); n != nil {
+			n.HandleMessage(m)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	n, err := core.NewNode(core.Config{
+		ID:         d.self,
+		Suite:      d.suite,
+		Identity:   d.identities[d.self],
+		HashParams: d.params,
+		Directory:  d.dir,
+		Endpoint:   ep,
+		Sources:    []model.NodeID{1},
+		IsSource:   d.self == 1,
+		PrimeBits:  d.modBits,
+		OnDeliver:  d.player.OnDeliver,
+		Verdicts: func(v core.Verdict) {
+			fmt.Printf("[%v] VERDICT %v\n", d.self, v)
+		},
+	})
+	if err != nil {
+		d.net.Unregister(d.self)
+		return err
+	}
+	node.Store(n)
+	d.node = n
+	return nil
+}
+
+// Join implements scenario.Applier: an auto join (NoNode) consumes the
+// lowest standby roster id — the same pick in every process — and the
+// owning process comes on the wire.
+func (d *deployment) Join(r model.Round, id model.NodeID) (model.NodeID, error) {
+	if id == model.NoNode {
+		if len(d.standby) == 0 {
+			return model.NoNode, fmt.Errorf("no standby roster ids left to join")
+		}
+		id = d.standby[0]
+	}
+	if d.members[id] {
+		return model.NoNode, fmt.Errorf("node %v is already a member", id)
+	}
+	if _, gone := d.departed[id]; gone {
+		return model.NoNode, fmt.Errorf("node %v already departed (roster ids are single-use)", id)
+	}
+	found := false
+	for i, sid := range d.standby {
+		if sid == id {
+			d.standby = append(d.standby[:i], d.standby[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return model.NoNode, fmt.Errorf("node %v is not a standby roster id", id)
+	}
+	if err := d.dir.Join(id, r); err != nil {
+		return model.NoNode, err
+	}
+	d.members[id] = true
+	if id == d.self {
+		if err := d.activate(); err != nil {
+			return model.NoNode, err
+		}
+		fmt.Printf("[%v] joined the deployment at round %v\n", d.self, r)
+	}
+	return id, nil
+}
+
+// Leave implements scenario.Applier: the membership re-draws everywhere
+// and the victim's process deregisters from the wire.
+func (d *deployment) Leave(r model.Round, id model.NodeID) error {
+	if id == 1 {
+		return fmt.Errorf("the source cannot leave")
+	}
+	if gone, was := d.departed[id]; was {
+		return fmt.Errorf("node %v already departed at %v", id, gone)
+	}
+	if err := d.dir.Leave(id, r); err != nil {
+		return err
+	}
+	d.depart(id, r)
+	return nil
+}
+
+// Crash implements scenario.Applier: the victim goes silent now; every
+// process removes it from the membership lingerRounds later (the shared
+// failure-detection latency).
+func (d *deployment) Crash(r model.Round, id model.NodeID, lingerRounds int) error {
+	if id == 1 {
+		return fmt.Errorf("the source cannot crash (assumed correct, §III)")
+	}
+	if !d.dir.Contains(id) {
+		return fmt.Errorf("crash of non-member %v", id)
+	}
+	if gone, was := d.departed[id]; was {
+		return fmt.Errorf("node %v already departed at %v", id, gone)
+	}
+	if lingerRounds <= 0 {
+		return d.Leave(r, id)
+	}
+	d.depart(id, r)
+	detect := r + model.Round(lingerRounds)
+	d.pending[detect] = append(d.pending[detect], func(rr model.Round) {
+		if d.dir.Contains(id) {
+			_ = d.dir.Leave(id, rr)
+		}
+	})
+	return nil
+}
+
+// depart silences a node: the fault plane drops its traffic in both
+// directions, and — when it is this process — the endpoint deregisters,
+// a real listener teardown.
+func (d *deployment) depart(id model.NodeID, r model.Round) {
+	d.net.Faults().SetNodeDown(id, true)
+	d.departed[id] = r
+	delete(d.members, id)
+	if id == d.self {
+		d.net.Unregister(d.self)
+		d.node = nil
+		fmt.Printf("[%v] departed at round %v\n", d.self, r)
+	}
+}
+
+// SetLossRate implements scenario.Applier.
+func (d *deployment) SetLossRate(rate float64) { d.net.Faults().SetLossRate(rate) }
+
+// SetLinkLoss implements scenario.Applier.
+func (d *deployment) SetLinkLoss(from, to model.NodeID, rate float64) {
+	d.net.Faults().SetLinkLoss(from, to, rate)
+}
+
+// Partition implements scenario.Applier.
+func (d *deployment) Partition(groups [][]model.NodeID) { d.net.Faults().SetPartition(groups...) }
+
+// Heal implements scenario.Applier.
+func (d *deployment) Heal() { d.net.Faults().Heal() }
+
+// SetUploadCap implements scenario.Applier (kbps; the fault plane owns
+// the conversion, so the deployment and the simulated session agree).
+func (d *deployment) SetUploadCap(id model.NodeID, kbps int) {
+	d.net.Faults().SetUploadCapKbps(id, kbps)
+}
+
+// SetBehavior implements scenario.Applier: the target and profile are
+// validated in every process (identical journals — a mistargeted event
+// fails everywhere, as it does on the simulated session) but only the
+// targeted process flips its own node.
+func (d *deployment) SetBehavior(id model.NodeID, profile scenario.BehaviorProfile) error {
+	if id == 1 {
+		return fmt.Errorf("the source is assumed correct (§III)")
+	}
+	if !d.members[id] {
+		return fmt.Errorf("no node %v in the membership", id)
+	}
+	b, known := core.BehaviorForProfile(string(profile))
+	if !known {
+		return fmt.Errorf("unknown behavior profile %q", profile)
+	}
+	if id == d.self && d.node != nil {
+		d.node.SetBehavior(b)
+	}
+	return nil
+}
+
+// ChurnTargets implements scenario.Applier: every current member except
+// the source.
+func (d *deployment) ChurnTargets() []model.NodeID {
+	out := make([]model.NodeID, 0, len(d.members))
+	for id := range d.members {
+		if id == 1 {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // readRoster parses "id host:port" lines; '#' starts a comment.

@@ -5,15 +5,22 @@
 //
 // Usage:
 //
-//	pag-scenario -name steady-churn
-//	pag-scenario -name transient-partition -protocol pag -nodes 24
+//	pag-scenario -scenario steady-churn
+//	pag-scenario -scenario transient-partition -protocol pag -nodes 24
 //	pag-scenario -file myscenario.json -seed 9 > report.json
-//	pag-scenario -name flash-crowd -dump    # print the script, don't run
+//	pag-scenario -scenario steady-churn -net tcp   # same script over loopback sockets
+//	pag-scenario -scenario flash-crowd -dump       # print the script, don't run
 //	pag-scenario -list
 //
 // Canned scenarios: flash-crowd, steady-churn, transient-partition,
 // delayed-coalition. A scenario file is the same JSON the -dump flag
 // prints.
+//
+// -net selects the transport: "mem" (default) runs the deterministic
+// in-memory network — byte-identical reports under a seed — while "tcp"
+// runs every node of the session over real loopback sockets with the same
+// fault plane applied on the wire path (statistically equivalent, not
+// byte-identical; the report's engine metadata records the transport).
 package main
 
 import (
@@ -22,9 +29,11 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	pag "repro"
 	"repro/internal/scenario"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -33,8 +42,10 @@ func main() {
 
 func run() int {
 	var (
-		name      = flag.String("name", "", "canned scenario name (see -list)")
-		file      = flag.String("file", "", "scenario JSON file (overrides -name)")
+		scName    = flag.String("scenario", "", "canned scenario name (see -list)")
+		name      = flag.String("name", "", "alias of -scenario (kept for compatibility)")
+		file      = flag.String("file", "", "scenario JSON file (overrides -scenario)")
+		netKind   = flag.String("net", "mem", "transport: mem (deterministic in-memory) or tcp (loopback sockets)")
 		protocols = flag.String("protocol", "all", "pag|acting|rac|all")
 		nodes     = flag.Int("nodes", 16, "initial system size, including the source")
 		stream    = flag.Int("stream", 60, "stream bitrate in kbps")
@@ -42,11 +53,14 @@ func run() int {
 		seed      = flag.Uint64("seed", 7, "session seed; also drives a canned scenario's timeline (a -file scenario's own seed wins)")
 		threshold = flag.Int("threshold", 1, "verdict count that counts as a conviction")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0),
-			"round-engine workers (0 = serial engine; results are byte-identical either way)")
+			"round-engine workers (0 = serial engine; results are byte-identical either way; forced 0 with -net tcp)")
 		dump = flag.Bool("dump", false, "print the scenario JSON instead of running it")
 		list = flag.Bool("list", false, "list canned scenarios")
 	)
 	flag.Parse()
+	if *scName == "" {
+		*scName = *name
+	}
 
 	if *list {
 		for _, n := range scenario.Names() {
@@ -56,7 +70,7 @@ func run() int {
 		return 0
 	}
 
-	sc, err := loadScenario(*file, *name, *nodes)
+	sc, err := loadScenario(*file, *scName, *nodes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pag-scenario:", err)
 		return 1
@@ -87,13 +101,33 @@ func run() int {
 		return 2
 	}
 
-	report, err := pag.RunScenarioReport(pag.SessionConfig{
+	cfg := pag.SessionConfig{
 		Nodes:       *nodes,
 		StreamKbps:  *stream,
 		ModulusBits: *modBits,
 		Seed:        *seed,
 		Workers:     *workers,
-	}, sc, ps, *threshold)
+	}
+	switch strings.ToLower(*netKind) {
+	case "mem", "":
+	case "tcp":
+		// Real loopback sockets: every node listens on an ephemeral
+		// 127.0.0.1 port (dynamic roster — churn joins register live
+		// endpoints mid-run). The TCP transport needs the serial engine
+		// and stepped delivery; determinism becomes statistical.
+		cfg.Workers = 0
+		cfg.NewNetwork = func() transport.FaultyNetwork {
+			tn := transport.NewTCPNet(nil)
+			tn.SetDynamic("127.0.0.1")
+			tn.SetStepped(2 * time.Second)
+			return tn
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "pag-scenario: unknown transport %q (mem|tcp)\n", *netKind)
+		return 2
+	}
+
+	report, err := pag.RunScenarioReport(cfg, sc, ps, *threshold)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pag-scenario:", err)
 		return 1

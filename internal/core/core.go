@@ -154,6 +154,24 @@ type Behavior struct {
 // IsCorrect reports whether the behaviour is fully protocol-compliant.
 func (b Behavior) IsCorrect() bool { return b == Behavior{} }
 
+// BehaviorForProfile maps a protocol-agnostic deviation profile name (the
+// scenario vocabulary: "correct", "free-rider", "colluder") onto PAG's
+// deviation knobs. It is the single definition shared by the simulated
+// session and the TCP deployment, so "the same scenario over mem and tcp"
+// always runs the same adversary; ok is false for unknown profiles.
+func BehaviorForProfile(profile string) (b Behavior, ok bool) {
+	switch profile {
+	case "correct":
+		return Behavior{}, true
+	case "free-rider":
+		return Behavior{SkipServeEvery: 1}, true
+	case "colluder":
+		return Behavior{SilentMonitor: true, SkipMonitorReport: true}, true
+	default:
+		return Behavior{}, false
+	}
+}
+
 // Config assembles a Node's dependencies.
 type Config struct {
 	// ID is this node's identity in the membership.

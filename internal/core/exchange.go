@@ -37,13 +37,23 @@ func (n *Node) onKeyRequest(msg transport.Message) {
 	}
 
 	ex, ok := n.recvCur.exchanges[req.From]
-	if !ok {
+	if !ok || ex.prime.IsZero() {
+		// The prime is generated on the first KeyRequest — which over a
+		// real transport may arrive after a reordered Serve already
+		// opened the exchange with a zero prime (processServe). Issuing
+		// a prime and entering recvCur.order are one step: order is what
+		// feeds K(R,B), the monitor reports and the self-digest, and an
+		// exchange belongs there exactly when it has a prime (and never
+		// with a zero one, so a failed generation leaves no trace).
 		prime, err := hhash.GeneratePrimeKey(n.rnd, n.cfg.PrimeBits)
 		if err != nil {
 			return
 		}
-		ex = &recvExchange{prime: prime}
-		n.recvCur.exchanges[req.From] = ex
+		if !ok {
+			ex = &recvExchange{}
+			n.recvCur.exchanges[req.From] = ex
+		}
+		ex.prime = prime
 		n.recvCur.order = append(n.recvCur.order, req.From)
 	}
 

@@ -254,9 +254,8 @@ func (e Event) validate() error {
 // Timeline
 // ---------------------------------------------------------------------------
 
-// Applier is the session surface a timeline drives. All methods are called
-// at the top of a round, before any node acts.
-type Applier interface {
+// ChurnApplier is the membership half of the scenario surface.
+type ChurnApplier interface {
 	// Join adds a member; NoNode asks the session for a fresh identity.
 	// It returns the id actually admitted (for the journal).
 	Join(r model.Round, id model.NodeID) (model.NodeID, error)
@@ -265,18 +264,35 @@ type Applier interface {
 	// Crash fail-stops a member; its membership entry lingers for the
 	// given number of rounds before removal.
 	Crash(r model.Round, id model.NodeID, lingerRounds int) error
-	// SetLossRate / SetLinkLoss / Partition / Heal / SetUploadCap drive
-	// the network fault plane.
+	// ChurnTargets returns the members eligible for auto-picked leaves
+	// and crashes (ascending; the session excludes sources).
+	ChurnTargets() []model.NodeID
+}
+
+// FaultApplier is the network half of the scenario surface. A session
+// forwards these onto its transport's fault plane — any
+// transport.FaultyNetwork, in-memory or real sockets, presents the same
+// knobs.
+type FaultApplier interface {
 	SetLossRate(rate float64)
 	SetLinkLoss(from, to model.NodeID, rate float64)
 	Partition(groups [][]model.NodeID)
 	Heal()
 	SetUploadCap(id model.NodeID, kbps int)
+}
+
+// BehaviorApplier is the adversary half of the scenario surface.
+type BehaviorApplier interface {
 	// SetBehavior flips a node's deviation profile.
 	SetBehavior(id model.NodeID, profile BehaviorProfile) error
-	// ChurnTargets returns the members eligible for auto-picked leaves
-	// and crashes (ascending; the session excludes sources).
-	ChurnTargets() []model.NodeID
+}
+
+// Applier is the full surface a timeline drives. All methods are called
+// at the top of a round, before any node acts.
+type Applier interface {
+	ChurnApplier
+	FaultApplier
+	BehaviorApplier
 }
 
 // Applied is one journal entry: an event that actually fired, with its

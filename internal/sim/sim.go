@@ -171,13 +171,13 @@ func (ro *Roster) OpenRound(r model.Round) {
 // engines: a snapshot of traffic counters at StartMeasuring, so warm-up
 // rounds are excluded, as in the paper's steady-state numbers.
 type Meter struct {
-	net      *transport.MemNet
+	net      transport.SteppedNetwork
 	baseline map[model.NodeID]transport.Traffic
 	measured model.Round // rounds measured so far
 }
 
 // NewMeter creates a meter over the network the engine runs on.
-func NewMeter(net *transport.MemNet) Meter { return Meter{net: net} }
+func NewMeter(net transport.SteppedNetwork) Meter { return Meter{net: net} }
 
 // Start snapshots the members' traffic counters; bandwidth statistics
 // cover the rounds run afterwards.
@@ -238,16 +238,18 @@ func (m *Meter) Sample(members []Protocol, exclude ...model.NodeID) stats.Sample
 }
 
 // Engine coordinates nodes and the network, stepping every node in one
-// goroutine.
+// goroutine. It runs over any SteppedNetwork: MemNet (deterministic
+// simulation) or TCPNet in stepped mode (real sockets, quiescence-based
+// phase barriers).
 type Engine struct {
 	Roster
 	meter Meter
-	net   *transport.MemNet
+	net   transport.SteppedNetwork
 	round model.Round
 }
 
-// NewEngine creates an engine over a MemNet.
-func NewEngine(net *transport.MemNet) *Engine {
+// NewEngine creates an engine over a stepped network.
+func NewEngine(net transport.SteppedNetwork) *Engine {
 	return &Engine{net: net, meter: NewMeter(net)}
 }
 

@@ -1,0 +1,315 @@
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/model"
+)
+
+// This file is the transport-agnostic fault plane: the schedulable network
+// conditions a scenario drives — uniform and per-link message loss,
+// partitions that open and heal, per-node down flags and per-round upload
+// caps — factored out of MemNet so that every Network implementation can
+// apply the same surface. MemNet consults it at its canonical merge point
+// (preserving the parallel engine's byte-identical guarantee); TCPNet
+// consults it on the wire path, at send and receive.
+
+// Outcome is a FaultPlane admission decision for one message.
+type Outcome int
+
+// The three admission outcomes.
+const (
+	// OutcomePass admits the message: the sender is charged and the
+	// message proceeds toward delivery.
+	OutcomePass Outcome = iota
+	// OutcomeDropped discards the message after it left the sender's NIC:
+	// the sender is charged, the receiver is not.
+	OutcomeDropped
+	// OutcomeCapDropped discards the message before it left the NIC (the
+	// sender's per-round upload budget is exhausted): nobody is charged.
+	OutcomeCapDropped
+)
+
+// FaultPlane owns the scripted network conditions and their accounting.
+// All zero-valued knobs describe a perfect network. Every draw comes from
+// one seeded PRNG, so a run that consults the plane in a deterministic
+// message order (MemNet's canonical merge) replays byte-identically under
+// the same seed; a transport that consults it in wall-clock order (TCPNet)
+// is statistically equivalent instead.
+//
+// A FaultPlane is safe for concurrent use; each Network owns exactly one
+// (shared access via Faults()).
+type FaultPlane struct {
+	mu        sync.Mutex
+	rng       model.SplitMix64
+	drop      DropFunc
+	lossRate  float64
+	linkLoss  map[[2]model.NodeID]float64
+	partition map[model.NodeID]int // node → group; nil when healed
+	down      map[model.NodeID]bool
+	caps      map[model.NodeID]uint64 // bytes per round; 0 = unlimited
+	spent     map[model.NodeID]uint64 // bytes sent this round
+	dropped   uint64
+	capDrops  uint64
+}
+
+// faultSeedMix is the PRNG whitening constant shared by seeded and default
+// initialisation, so SetSeed(0) reproduces the default plane.
+const faultSeedMix = 0x9E3779B97F4A7C15
+
+// NewFaultPlane creates a fault plane describing a perfect network.
+func NewFaultPlane() *FaultPlane {
+	return &FaultPlane{
+		rng:   model.SplitMix64{State: faultSeedMix},
+		down:  make(map[model.NodeID]bool),
+		caps:  make(map[model.NodeID]uint64),
+		spent: make(map[model.NodeID]uint64),
+	}
+}
+
+// SetSeed re-seeds the plane's PRNG; runs with the same seed and the same
+// admission sequence replay identically.
+func (p *FaultPlane) SetSeed(seed uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rng = model.SplitMix64{State: seed ^ faultSeedMix}
+}
+
+// SetDropFunc installs a fault-injection predicate (nil to clear). Dropped
+// messages are charged to the sender (the bytes left the NIC) but not the
+// receiver.
+func (p *FaultPlane) SetDropFunc(f DropFunc) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.drop = f
+}
+
+// SetLossRate sets the uniform message-loss probability in [0, 1].
+func (p *FaultPlane) SetLossRate(rate float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lossRate = clampProb(rate)
+}
+
+// SetLinkLoss sets the loss probability of the directed link from → to
+// (applied on top of the uniform rate; 0 removes the entry).
+func (p *FaultPlane) SetLinkLoss(from, to model.NodeID, rate float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rate = clampProb(rate)
+	if rate == 0 {
+		delete(p.linkLoss, [2]model.NodeID{from, to})
+		return
+	}
+	if p.linkLoss == nil {
+		p.linkLoss = make(map[[2]model.NodeID]float64)
+	}
+	p.linkLoss[[2]model.NodeID{from, to}] = rate
+}
+
+// SetPartition splits the network: messages crossing group boundaries are
+// dropped. Nodes absent from every listed group form one implicit extra
+// group (so SetPartition([]{victim}) isolates a single node). Heal removes
+// the partition.
+func (p *FaultPlane) SetPartition(groups ...[]model.NodeID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.partition = make(map[model.NodeID]int)
+	for g, members := range groups {
+		for _, id := range members {
+			p.partition[id] = g + 1
+		}
+	}
+}
+
+// Heal removes the current partition.
+func (p *FaultPlane) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.partition = nil
+}
+
+// SetNodeDown marks a node crashed: everything it sends or should receive
+// is dropped until it comes back up.
+func (p *FaultPlane) SetNodeDown(id model.NodeID, isDown bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.down[id] = isDown
+}
+
+// SetUploadCap bounds a node's outbound bytes per round (0 removes the
+// cap). Messages beyond the budget never leave the NIC: they are dropped
+// uncharged, so the node's measured bandwidth saturates at the cap.
+func (p *FaultPlane) SetUploadCap(id model.NodeID, bytesPerRound uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if bytesPerRound == 0 {
+		delete(p.caps, id)
+		return
+	}
+	p.caps[id] = bytesPerRound
+}
+
+// SetUploadCapKbps sets a node's upload cap from a link rate in kbps
+// (<= 0 removes the cap), using the paper's one-second rounds (§VII-A).
+// It is the single home of the kbps→bytes-per-round conversion, shared by
+// the simulated session and the TCP deployment so the two cannot drift.
+func (p *FaultPlane) SetUploadCapKbps(id model.NodeID, kbps int) {
+	if kbps <= 0 {
+		p.SetUploadCap(id, 0)
+		return
+	}
+	p.SetUploadCap(id, uint64(kbps)*1000/8*model.RoundDurationSeconds)
+}
+
+// BeginRound resets the per-round upload budgets; the round driver calls
+// it at the top of every round.
+func (p *FaultPlane) BeginRound() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.spent = make(map[model.NodeID]uint64, len(p.spent))
+}
+
+// Dropped returns how many messages the fault plane (drop predicate, loss,
+// partitions, down nodes and upload caps combined) discarded.
+func (p *FaultPlane) Dropped() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// CapDrops returns how many messages were discarded by upload caps alone.
+func (p *FaultPlane) CapDrops() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capDrops
+}
+
+// Admit runs one outbound message through the plane — upload cap, drop
+// predicate, down nodes, partition, uniform and per-link loss, in that
+// fixed order (the order every PRNG draw depends on) — updates the drop
+// counters and the sender's round budget, and returns the outcome. The
+// caller charges traffic according to the outcome: sender on anything but
+// OutcomeCapDropped, receiver only on OutcomePass.
+func (p *FaultPlane) Admit(msg Message) Outcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	size := uint64(msg.WireSize())
+	if limit, ok := p.caps[msg.From]; ok && p.spent[msg.From]+size > limit {
+		p.capDrops++
+		p.dropped++
+		return OutcomeCapDropped
+	}
+	p.spent[msg.From] += size
+	if p.drop != nil && p.drop(msg) {
+		p.dropped++
+		return OutcomeDropped
+	}
+	if p.faultDrop(msg) {
+		p.dropped++
+		return OutcomeDropped
+	}
+	return OutcomePass
+}
+
+// faultDrop decides, with p.mu held, whether the scripted conditions
+// discard msg after the sender was charged.
+func (p *FaultPlane) faultDrop(msg Message) bool {
+	if p.down[msg.From] || p.down[msg.To] {
+		return true
+	}
+	if p.partition != nil && p.partition[msg.From] != p.partition[msg.To] {
+		return true
+	}
+	if r := p.lossRate; r > 0 && p.rng.Float() < r {
+		return true
+	}
+	if r := p.linkLoss[[2]model.NodeID{msg.From, msg.To}]; r > 0 && p.rng.Float() < r {
+		return true
+	}
+	return false
+}
+
+// ReceiveBlocked is the receive-side recheck for transports with real
+// propagation delay: a message admitted at send time but arriving after
+// its link partitioned or either end went down is discarded (and counted)
+// here. It never consults the PRNG — loss is decided exactly once, at
+// admission — so send-side and receive-side application cannot double-roll
+// a message.
+func (p *FaultPlane) ReceiveBlocked(msg Message) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down[msg.From] || p.down[msg.To] ||
+		(p.partition != nil && p.partition[msg.From] != p.partition[msg.To]) {
+		p.dropped++
+		return true
+	}
+	return false
+}
+
+// refundSpent returns an admitted message's bytes to the sender's round
+// budget — for transports where a send can fail after admission (a TCP
+// write error): the bytes never left the NIC, so they must not count
+// against the cap. The PRNG draw is not (and cannot be) undone; faulty
+// TCP runs are statistical, never byte-replayed.
+func (p *FaultPlane) refundSpent(id model.NodeID, size uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.spent[id] >= size {
+		p.spent[id] -= size
+	}
+}
+
+// resetCounters zeroes the drop counters (MemNet.ResetTraffic contract).
+func (p *FaultPlane) resetCounters() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropped = 0
+	p.capDrops = 0
+}
+
+// ---------------------------------------------------------------------------
+// Transport-agnostic network surfaces
+// ---------------------------------------------------------------------------
+
+// SteppedNetwork is the surface a round engine drives: registration plus
+// per-round budget reset, a quiescence point between phases, and per-node
+// traffic accounting for the bandwidth meter. MemNet delivers everything
+// synchronously at DeliverAll; TCPNet waits for its wire traffic to drain.
+type SteppedNetwork interface {
+	Network
+	// BeginRound resets per-round state (upload budgets) at the top of a
+	// round.
+	BeginRound()
+	// DeliverAll delivers until the network quiesces and returns how many
+	// messages were handed to handlers.
+	DeliverAll() int
+	// TrafficOf returns the cumulative traffic snapshot of a node.
+	TrafficOf(id model.NodeID) Traffic
+}
+
+// FaultyNetwork is the scenario-facing surface: a SteppedNetwork with a
+// schedulable fault plane and a dynamic roster. Both MemNet and TCPNet
+// implement it, so the scenario subsystem and sessions are written against
+// the interface, never a concrete transport.
+type FaultyNetwork interface {
+	SteppedNetwork
+	// Unregister detaches a node's handler mid-run (a leave); it reports
+	// whether the node was registered.
+	Unregister(id model.NodeID) bool
+	// Faults returns the network's fault plane.
+	Faults() *FaultPlane
+	// Dropped returns the fault plane's combined drop counter.
+	Dropped() uint64
+	// TotalTraffic sums all per-node traffic counters.
+	TotalTraffic() Traffic
+	// Name identifies the transport ("mem" or "tcp") for run metadata.
+	Name() string
+	// Close releases the transport's resources (no-op for MemNet).
+	Close() error
+}
+
+var (
+	_ FaultyNetwork = (*MemNet)(nil)
+	_ FaultyNetwork = (*TCPNet)(nil)
+)

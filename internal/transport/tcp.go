@@ -7,20 +7,72 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
 )
 
-// TCPNet is a real TCP transport implementing Network. Each registered node
-// listens on its address from the address book; outgoing connections are
-// dialed lazily and kept open. It backs the cluster-deployment analogue of
-// the paper's Grid'5000 experiment (48 machines × 9 instances, §VII-A).
+// TCPNet is a real TCP transport implementing FaultyNetwork. Each
+// registered node listens on its address from the address book; outgoing
+// connections are dialed lazily and kept open. It backs the
+// cluster-deployment analogue of the paper's Grid'5000 experiment (48
+// machines × 9 instances, §VII-A).
+//
+// Since the fault-plane extraction, TCPNet carries the same scripted
+// fault surface as MemNet — loss, partitions, down nodes, upload caps —
+// applied on the wire path: the full admission pipeline runs at send time
+// (a dropped message never reaches the socket), and a stateless
+// down/partition recheck runs at receive time for messages that were in
+// flight when the condition changed. The PRNG is consulted once per
+// message, at admission, in wall-clock send order — so a faulty TCP run
+// is statistically equivalent to the MemNet run of the same script, not
+// byte-identical (MemNet's canonical merge order is what buys bytes).
+//
+// Traffic accounting mirrors MemNet: every message is charged
+// Message.WireSize() (HeaderBytes framing, not the raw 13-byte TCP frame
+// header), so per-node bandwidth numbers are comparable across
+// transports.
+//
+// # Dynamic roster
+//
+// SetDynamic enables mid-run membership: Register for an id missing from
+// the address book listens on an ephemeral port and publishes the
+// resolved address to the shared book, and Unregister closes a node's
+// listener and connections so its id really leaves the wire. This is what
+// scenario churn maps onto when a session runs over sockets.
+//
+// # Stepped delivery
+//
+// By default inbound frames are handed to handlers on the reader
+// goroutines (the live-deployment mode cmd/pag-node uses; handlers must
+// be internally synchronised). SetStepped switches the net into the round
+// engines' delivery contract instead: frames are queued on arrival and
+// DeliverAll drains the queue on the calling goroutine until the wire is
+// quiescent, so unsynchronised protocol nodes are never touched
+// concurrently — the same single-threaded-per-node guarantee MemNet's
+// merge gives.
 type TCPNet struct {
-	mu    sync.Mutex
-	book  map[model.NodeID]string
-	nodes map[model.NodeID]*tcpEndpoint
-	wg    sync.WaitGroup
-	done  chan struct{}
+	mu      sync.Mutex
+	book    map[model.NodeID]string
+	dynIDs  map[model.NodeID]bool // book entries published by dynamic Registers
+	nodes   map[model.NodeID]*tcpEndpoint
+	traffic map[model.NodeID]*Traffic
+	dynHost string // "" = static roster only
+	wg      sync.WaitGroup
+	done    chan struct{}
+
+	faults *FaultPlane
+
+	// stepped-mode state: inbox holds arrived-but-undelivered messages;
+	// inflight counts frames written to a socket and not yet enqueued
+	// (stepped) or handled (direct). delivered counts handler invocations.
+	stepped   bool
+	quiesce   time.Duration // max DeliverAll wait; 0 = default
+	inboxMu   sync.Mutex
+	inbox     []Message
+	inflight  atomic.Int64
+	delivered atomic.Uint64
 }
 
 var _ Network = (*TCPNet)(nil)
@@ -33,20 +85,78 @@ func NewTCPNet(book map[model.NodeID]string) *TCPNet {
 		cp[id] = addr
 	}
 	return &TCPNet{
-		book:  cp,
-		nodes: make(map[model.NodeID]*tcpEndpoint),
-		done:  make(chan struct{}),
+		book:    cp,
+		dynIDs:  make(map[model.NodeID]bool),
+		nodes:   make(map[model.NodeID]*tcpEndpoint),
+		traffic: make(map[model.NodeID]*Traffic),
+		faults:  NewFaultPlane(),
+		done:    make(chan struct{}),
 	}
 }
 
+// Faults returns the network's fault plane.
+func (t *TCPNet) Faults() *FaultPlane { return t.faults }
+
+// Name identifies the transport for run metadata.
+func (t *TCPNet) Name() string { return "tcp" }
+
+// Dropped returns the fault plane's combined drop counter.
+func (t *TCPNet) Dropped() uint64 { return t.faults.Dropped() }
+
+// CapDrops returns how many messages were discarded by upload caps alone.
+func (t *TCPNet) CapDrops() uint64 { return t.faults.CapDrops() }
+
+// BeginRound resets the fault plane's per-round upload budgets.
+func (t *TCPNet) BeginRound() { t.faults.BeginRound() }
+
+// SetDynamic enables the dynamic roster: Register for an id with no book
+// entry listens on host:0 (an ephemeral port) and records the resolved
+// address, so later dials to that id work. host is typically "127.0.0.1"
+// for single-process loopback deployments.
+func (t *TCPNet) SetDynamic(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dynHost = host
+}
+
+// SetStepped switches delivery into the round engines' stepped contract:
+// inbound messages queue until DeliverAll drains them on the calling
+// goroutine. maxWait bounds one DeliverAll's quiescence wait (0 picks a
+// default). Call before traffic flows.
+func (t *TCPNet) SetStepped(maxWait time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stepped = true
+	t.quiesce = maxWait
+}
+
+// SteppedMode reports whether stepped delivery is enabled — the contract
+// a round-engine-driven session requires (NewSession checks it, since
+// direct-mode delivery would run handlers concurrently with node steps).
+func (t *TCPNet) SteppedMode() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stepped
+}
+
 // Register implements Network: it starts listening on the node's book
-// address and serves inbound frames to the handler.
+// address (or an ephemeral one under SetDynamic) and serves inbound
+// frames to the handler.
 func (t *TCPNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
+	if id == model.NoNode {
+		return nil, errors.New("transport: cannot register NoNode")
+	}
 	if h == nil {
 		return nil, errors.New("transport: nil handler")
 	}
-	addr, ok := t.book[id]
-	if !ok {
+	t.mu.Lock()
+	addr, static := t.book[id]
+	dynamic := !static && t.dynHost != ""
+	if dynamic {
+		addr = net.JoinHostPort(t.dynHost, "0")
+	}
+	t.mu.Unlock()
+	if !static && !dynamic {
 		return nil, fmt.Errorf("transport: node %v not in address book", id)
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -54,11 +164,12 @@ func (t *TCPNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	ep := &tcpEndpoint{
-		net:     t,
-		id:      id,
-		handler: h,
-		ln:      ln,
-		conns:   make(map[model.NodeID]net.Conn),
+		net:      t,
+		id:       id,
+		handler:  h,
+		ln:       ln,
+		conns:    make(map[model.NodeID]net.Conn),
+		accepted: make(map[net.Conn]struct{}),
 	}
 	t.mu.Lock()
 	if _, dup := t.nodes[id]; dup {
@@ -67,6 +178,16 @@ func (t *TCPNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: node %v already registered", id)
 	}
 	t.nodes[id] = ep
+	if dynamic {
+		// Publish the resolved ephemeral address so peers sharing this
+		// TCPNet can dial the newcomer. Static entries are left alone
+		// (the configured name may resolve differently than ln.Addr).
+		t.book[id] = ln.Addr().String()
+		t.dynIDs[id] = true
+	}
+	if t.traffic[id] == nil {
+		t.traffic[id] = &Traffic{}
+	}
 	t.mu.Unlock()
 
 	t.wg.Add(1)
@@ -75,6 +196,188 @@ func (t *TCPNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
 		ep.acceptLoop()
 	}()
 	return ep, nil
+}
+
+// Unregister detaches a node mid-run: its listener and connections —
+// dialed and accepted — close, so the id really leaves the wire (peers'
+// cached connections to it die on their next write). A dynamically
+// published address is retracted, so later sends fail with "unknown
+// destination" before touching the fault plane (MemNet's accounting for
+// departed destinations) and a re-registered id gets a fresh ephemeral
+// port; static roster entries stay (the deployment's address book is
+// configuration, not state). Traffic counters survive for post-mortem
+// accounting. It reports whether the node was registered.
+func (t *TCPNet) Unregister(id model.NodeID) bool {
+	t.mu.Lock()
+	ep, ok := t.nodes[id]
+	if ok {
+		delete(t.nodes, id)
+		if t.dynIDs[id] {
+			delete(t.book, id)
+			delete(t.dynIDs, id)
+		}
+	}
+	t.mu.Unlock()
+	if !ok {
+		return false
+	}
+	ep.close()
+	return true
+}
+
+// handlerOf resolves the current handler of a destination (nil when the
+// node is not registered).
+func (t *TCPNet) handlerOf(id model.NodeID) Handler {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ep, ok := t.nodes[id]; ok {
+		return ep.handler
+	}
+	return nil
+}
+
+// charge adds a delta to a node's traffic account.
+func (t *TCPNet) charge(id model.NodeID, in bool, size uint64) {
+	t.mu.Lock()
+	tr := t.traffic[id]
+	if tr == nil {
+		tr = &Traffic{}
+		t.traffic[id] = tr
+	}
+	if in {
+		tr.BytesIn += size
+		tr.MsgsIn++
+	} else {
+		tr.BytesOut += size
+		tr.MsgsOut++
+	}
+	t.mu.Unlock()
+}
+
+// unchargeSend reverses a send charge whose frame never reached the wire
+// (dial or write failure after admission), keeping the counters honest
+// about bytes that actually left the NIC — MemNet's charged ⇒
+// delivered-or-fault-dropped invariant.
+func (t *TCPNet) unchargeSend(id model.NodeID, size uint64) {
+	t.mu.Lock()
+	if tr := t.traffic[id]; tr != nil && tr.BytesOut >= size && tr.MsgsOut > 0 {
+		tr.BytesOut -= size
+		tr.MsgsOut--
+	}
+	t.mu.Unlock()
+	t.faults.refundSpent(id, size)
+}
+
+// TrafficOf returns the cumulative traffic snapshot of a node.
+func (t *TCPNet) TrafficOf(id model.NodeID) Traffic {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tr, ok := t.traffic[id]; ok {
+		return *tr
+	}
+	return Traffic{}
+}
+
+// TotalTraffic sums all per-node counters.
+func (t *TCPNet) TotalTraffic() Traffic {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total Traffic
+	for _, tr := range t.traffic {
+		total.Add(*tr)
+	}
+	return total
+}
+
+// defaultQuiesce bounds one DeliverAll wait when SetStepped was not given
+// an explicit budget: generous against handler cascades, tight enough
+// that a lost peer cannot stall a round for long.
+const defaultQuiesce = 2 * time.Second
+
+// quiesceIdle is how long DeliverAll tolerates zero progress (no drains,
+// no inflight movement) before declaring the wire quiescent even though
+// the inflight counter is nonzero. A frame written to a connection that
+// died before reading it (a departed peer) is never decremented; without
+// this idle cut-off one such frame would burn the full budget on every
+// subsequent DeliverAll. Loopback propagation is microseconds, so the
+// window is sized for scheduler noise, not the wire: it must outlast a
+// descheduled reader goroutine on a loaded (race-instrumented, shared-CI)
+// box, where 25 ms stalls are real — truncating a genuine in-flight frame
+// would leak its delivery into the next phase and break the stepped
+// barrier contract.
+const quiesceIdle = 150 * time.Millisecond
+
+// DeliverAll waits until the wire quiesces. In stepped mode it drains the
+// inbox on the calling goroutine (handlers may send more; the cascade is
+// followed until nothing is in flight), returning how many messages were
+// handed to handlers. In direct mode handlers already ran on the reader
+// goroutines, so it only waits for in-flight frames to settle.
+//
+// Quiescence is inflight == 0 (exact, the fast path) or no observable
+// progress for quiesceIdle (the leaked-frame fallback); the configured
+// budget remains the hard deadline. Note the inflight counter is only
+// meaningful when sender and receiver share this TCPNet (one process) —
+// a multi-process deployment ticks rounds on the wall clock instead of
+// calling DeliverAll, and the idle fallback would cover it regardless.
+func (t *TCPNet) DeliverAll() int {
+	t.mu.Lock()
+	stepped, budget := t.stepped, t.quiesce
+	t.mu.Unlock()
+	if budget <= 0 {
+		budget = defaultQuiesce
+	}
+	deadline := time.Now().Add(budget)
+	start := t.delivered.Load()
+	lastInflight := t.inflight.Load()
+	lastProgress := time.Now()
+	for {
+		if stepped && t.drainInbox() {
+			lastProgress = time.Now()
+			continue
+		}
+		inflight := t.inflight.Load()
+		if inflight == 0 {
+			// Enqueue happens-before the inflight decrement, so at
+			// zero everything already sent is visible to one final
+			// drain; anything handlers send in that drain re-raises
+			// inflight and keeps the loop going.
+			if !stepped || !t.drainInbox() {
+				return int(t.delivered.Load() - start)
+			}
+			lastProgress = time.Now()
+			continue
+		}
+		if inflight != lastInflight {
+			lastInflight, lastProgress = inflight, time.Now()
+		}
+		now := time.Now()
+		if now.Sub(lastProgress) > quiesceIdle || now.After(deadline) {
+			return int(t.delivered.Load() - start)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// drainInbox delivers the currently queued messages on the calling
+// goroutine and reports whether it delivered any. Handler resolution
+// happens per message, so a destination unregistered while queued is
+// silently discarded (its receive was already charged — same contract as
+// MemNet).
+func (t *TCPNet) drainInbox() bool {
+	t.inboxMu.Lock()
+	msgs := t.inbox
+	t.inbox = nil
+	t.inboxMu.Unlock()
+	if len(msgs) == 0 {
+		return false
+	}
+	for _, m := range msgs {
+		if h := t.handlerOf(m.To); h != nil {
+			h(m)
+			t.delivered.Add(1)
+		}
+	}
+	return true
 }
 
 // Close shuts down all listeners and connections and waits for goroutines.
@@ -103,8 +406,9 @@ type tcpEndpoint struct {
 	handler Handler
 	ln      net.Listener
 
-	mu    sync.Mutex
-	conns map[model.NodeID]net.Conn
+	mu       sync.Mutex
+	conns    map[model.NodeID]net.Conn // dialed, keyed by destination
+	accepted map[net.Conn]struct{}     // inbound, closed on teardown
 }
 
 func (e *tcpEndpoint) NodeID() model.NodeID { return e.id }
@@ -112,10 +416,32 @@ func (e *tcpEndpoint) NodeID() model.NodeID { return e.id }
 // frame layout: from(4) to(4) kind(1) len(4) payload.
 const _tcpFrameHeader = 4 + 4 + 1 + 4
 
-// Send implements Endpoint.
+// Send implements Endpoint. The fault plane admits or drops the message
+// before it touches a socket: a capped message is silently discarded
+// uncharged, a lost one is charged to the sender only — exactly MemNet's
+// accounting, applied at the NIC instead of the merge point.
 func (e *tcpEndpoint) Send(to model.NodeID, kind uint8, payload []byte) error {
+	e.net.mu.Lock()
+	_, known := e.net.book[to]
+	e.net.mu.Unlock()
+	if !known {
+		return fmt.Errorf("transport: unknown destination %v", to)
+	}
+
+	msg := Message{From: e.id, To: to, Kind: kind, Payload: payload}
+	size := uint64(msg.WireSize())
+	switch e.net.faults.Admit(msg) {
+	case OutcomeCapDropped:
+		return nil
+	case OutcomeDropped:
+		e.net.charge(e.id, false, size)
+		return nil
+	}
+	e.net.charge(e.id, false, size)
+
 	conn, err := e.conn(to)
 	if err != nil {
+		e.net.unchargeSend(e.id, size)
 		return err
 	}
 	frame := make([]byte, _tcpFrameHeader+len(payload))
@@ -127,7 +453,10 @@ func (e *tcpEndpoint) Send(to model.NodeID, kind uint8, payload []byte) error {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.net.inflight.Add(1)
 	if _, err := conn.Write(frame); err != nil {
+		e.net.inflight.Add(-1)
+		e.net.unchargeSend(e.id, size)
 		delete(e.conns, to) // force re-dial next time
 		_ = conn.Close()
 		return fmt.Errorf("transport: write to %v: %w", to, err)
@@ -141,7 +470,9 @@ func (e *tcpEndpoint) conn(to model.NodeID) (net.Conn, error) {
 	if c, ok := e.conns[to]; ok {
 		return c, nil
 	}
+	e.net.mu.Lock()
 	addr, ok := e.net.book[to]
+	e.net.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown destination %v", to)
 	}
@@ -159,10 +490,16 @@ func (e *tcpEndpoint) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		e.mu.Lock()
+		e.accepted[conn] = struct{}{}
+		e.mu.Unlock()
 		e.net.wg.Add(1)
 		go func() {
 			defer e.net.wg.Done()
 			e.readLoop(conn)
+			e.mu.Lock()
+			delete(e.accepted, conn)
+			e.mu.Unlock()
 		}()
 	}
 }
@@ -194,10 +531,35 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 			return
 		default:
 		}
-		e.handler(Message{From: from, To: to, Kind: kind, Payload: payload})
+		msg := Message{From: from, To: to, Kind: kind, Payload: payload}
+		// Receive-side recheck: a frame that was in flight when its link
+		// partitioned or an end went down is lost here (counted once —
+		// admission passed it, so no PRNG double-roll).
+		if e.net.faults.ReceiveBlocked(msg) {
+			e.net.inflight.Add(-1)
+			continue
+		}
+		e.net.charge(to, true, uint64(msg.WireSize()))
+		e.net.mu.Lock()
+		stepped := e.net.stepped
+		e.net.mu.Unlock()
+		if stepped {
+			e.net.inboxMu.Lock()
+			e.net.inbox = append(e.net.inbox, msg)
+			e.net.inboxMu.Unlock()
+			e.net.inflight.Add(-1)
+			continue
+		}
+		e.handler(msg)
+		e.net.delivered.Add(1)
+		e.net.inflight.Add(-1)
 	}
 }
 
+// close tears the endpoint fully off the wire: the listener, the
+// connections it dialed, and the inbound connections peers dialed to it
+// (their next write fails, forcing a re-dial that the dead listener
+// rejects) — so a deregistered id stops receiving, not just accepting.
 func (e *tcpEndpoint) close() {
 	_ = e.ln.Close()
 	e.mu.Lock()
@@ -205,5 +567,9 @@ func (e *tcpEndpoint) close() {
 	for id, c := range e.conns {
 		_ = c.Close()
 		delete(e.conns, id)
+	}
+	for c := range e.accepted {
+		_ = c.Close()
+		delete(e.accepted, c)
 	}
 }

@@ -101,11 +101,12 @@ type DropFunc func(Message) bool
 // any scheduler that lets every node produce its per-phase sends yields
 // the same canonical message stream.
 //
-// Beyond the raw DropFunc hook, MemNet carries a schedulable fault plane —
-// uniform and per-link loss rates, partitions that open and heal, per-node
-// down flags and per-round upload caps — all driven by a seeded PRNG so a
-// faulty run replays byte-identically under the same seed and at any
-// worker count.
+// Beyond the raw DropFunc hook, MemNet carries the schedulable FaultPlane
+// (faults.go) — uniform and per-link loss rates, partitions that open and
+// heal, per-node down flags and per-round upload caps — all driven by a
+// seeded PRNG. Because MemNet consults the plane only at the canonical
+// merge point, a faulty run replays byte-identically under the same seed
+// and at any worker count.
 type MemNet struct {
 	// regMu guards the endpoint/handler registry. During a simulation
 	// phase it is almost only read (Send checks the destination), so
@@ -123,23 +124,15 @@ type MemNet struct {
 	endpoints map[model.NodeID]*memEndpoint
 	active    map[model.NodeID]*memEndpoint
 
-	// mu guards the traffic accounts and the fault plane. Everything
-	// under it is touched only at merge/delivery points, which are
-	// single-threaded even under the parallel engine.
+	// mu guards the traffic accounts. They are touched only at
+	// merge/delivery points, which are single-threaded even under the
+	// parallel engine.
 	mu      sync.Mutex
 	traffic map[model.NodeID]*Traffic
-	drop    DropFunc
-	dropped uint64
 
-	// Fault plane (all zero-valued ⇒ a perfect network).
-	faultRNG  model.SplitMix64
-	lossRate  float64
-	linkLoss  map[[2]model.NodeID]float64
-	partition map[model.NodeID]int // node → group; nil when healed
-	down      map[model.NodeID]bool
-	caps      map[model.NodeID]uint64 // bytes per round; 0 = unlimited
-	spent     map[model.NodeID]uint64 // bytes sent this round
-	capDrops  uint64
+	// faults is the transport-agnostic fault plane, consulted exclusively
+	// at the merge point so every PRNG draw happens in canonical order.
+	faults *FaultPlane
 }
 
 var _ Network = (*MemNet)(nil)
@@ -151,12 +144,18 @@ func NewMemNet() *MemNet {
 		endpoints: make(map[model.NodeID]*memEndpoint),
 		active:    make(map[model.NodeID]*memEndpoint),
 		traffic:   make(map[model.NodeID]*Traffic),
-		faultRNG:  model.SplitMix64{State: 0x9E3779B97F4A7C15},
-		down:      make(map[model.NodeID]bool),
-		caps:      make(map[model.NodeID]uint64),
-		spent:     make(map[model.NodeID]uint64),
+		faults:    NewFaultPlane(),
 	}
 }
+
+// Faults returns the network's fault plane.
+func (n *MemNet) Faults() *FaultPlane { return n.faults }
+
+// Name identifies the transport for run metadata.
+func (n *MemNet) Name() string { return "mem" }
+
+// Close implements FaultyNetwork; an in-memory network holds no resources.
+func (n *MemNet) Close() error { return nil }
 
 // Register implements Network.
 func (n *MemNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
@@ -211,59 +210,32 @@ func (n *MemNet) Unregister(id model.NodeID) bool {
 	return true
 }
 
-// SetDropFunc installs a fault-injection predicate (nil to clear). Dropped
-// messages are charged to the sender (the bytes left the NIC) but not the
-// receiver.
-func (n *MemNet) SetDropFunc(f DropFunc) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.drop = f
-}
+// SetDropFunc, SetFaultSeed, SetLossRate, SetLinkLoss, SetPartition, Heal,
+// SetNodeDown, SetUploadCap, Dropped and CapDrops delegate to the fault
+// plane — kept as methods so existing callers (and the pre-extraction API)
+// keep working unchanged.
+
+// SetDropFunc installs a fault-injection predicate (nil to clear).
+func (n *MemNet) SetDropFunc(f DropFunc) { n.faults.SetDropFunc(f) }
 
 // Dropped returns how many messages the fault plane (drop predicate, loss,
 // partitions, down nodes and upload caps combined) discarded.
-func (n *MemNet) Dropped() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.dropped
-}
+func (n *MemNet) Dropped() uint64 { return n.faults.Dropped() }
 
 // CapDrops returns how many messages were discarded by upload caps alone.
-func (n *MemNet) CapDrops() uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.capDrops
-}
+func (n *MemNet) CapDrops() uint64 { return n.faults.CapDrops() }
 
 // SetFaultSeed re-seeds the fault-plane PRNG; runs with the same seed and
 // the same send sequence replay identically.
-func (n *MemNet) SetFaultSeed(seed uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.faultRNG = model.SplitMix64{State: seed ^ 0x9E3779B97F4A7C15}
-}
+func (n *MemNet) SetFaultSeed(seed uint64) { n.faults.SetSeed(seed) }
 
 // SetLossRate sets the uniform message-loss probability in [0, 1].
-func (n *MemNet) SetLossRate(p float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.lossRate = clampProb(p)
-}
+func (n *MemNet) SetLossRate(p float64) { n.faults.SetLossRate(p) }
 
 // SetLinkLoss sets the loss probability of the directed link from → to
 // (applied on top of the uniform rate; 0 removes the entry).
 func (n *MemNet) SetLinkLoss(from, to model.NodeID, p float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	p = clampProb(p)
-	if p == 0 {
-		delete(n.linkLoss, [2]model.NodeID{from, to})
-		return
-	}
-	if n.linkLoss == nil {
-		n.linkLoss = make(map[[2]model.NodeID]float64)
-	}
-	n.linkLoss[[2]model.NodeID{from, to}] = p
+	n.faults.SetLinkLoss(from, to, p)
 }
 
 // SetPartition splits the network: messages crossing group boundaries are
@@ -271,70 +243,29 @@ func (n *MemNet) SetLinkLoss(from, to model.NodeID, p float64) {
 // group (so Partition([]{victim}) isolates a single node). Heal removes
 // the partition.
 func (n *MemNet) SetPartition(groups ...[]model.NodeID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.partition = make(map[model.NodeID]int)
-	for g, members := range groups {
-		for _, id := range members {
-			n.partition[id] = g + 1
-		}
-	}
+	n.faults.SetPartition(groups...)
 }
 
 // Heal removes the current partition.
-func (n *MemNet) Heal() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.partition = nil
-}
+func (n *MemNet) Heal() { n.faults.Heal() }
 
 // SetNodeDown marks a node crashed: everything it sends or should receive
 // is dropped, but its registration and counters are kept (so it can come
 // back up and so post-mortem accounting still works).
 func (n *MemNet) SetNodeDown(id model.NodeID, isDown bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.down[id] = isDown
+	n.faults.SetNodeDown(id, isDown)
 }
 
 // SetUploadCap bounds a node's outbound bytes per round (0 removes the
 // cap). Messages beyond the budget never leave the NIC: they are dropped
 // uncharged, so the node's measured bandwidth saturates at the cap.
 func (n *MemNet) SetUploadCap(id model.NodeID, bytesPerRound uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if bytesPerRound == 0 {
-		delete(n.caps, id)
-		return
-	}
-	n.caps[id] = bytesPerRound
+	n.faults.SetUploadCap(id, bytesPerRound)
 }
 
 // BeginRound resets the per-round upload budgets; the simulation engine
 // calls it at the top of every round.
-func (n *MemNet) BeginRound() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.spent = make(map[model.NodeID]uint64, len(n.spent))
-}
-
-// faultDrop decides, with n.mu held, whether the fault plane discards msg
-// after the sender was charged.
-func (n *MemNet) faultDrop(msg Message) bool {
-	if n.down[msg.From] || n.down[msg.To] {
-		return true
-	}
-	if n.partition != nil && n.partition[msg.From] != n.partition[msg.To] {
-		return true
-	}
-	if p := n.lossRate; p > 0 && n.faultRNG.Float() < p {
-		return true
-	}
-	if p := n.linkLoss[[2]model.NodeID{msg.From, msg.To}]; p > 0 && n.faultRNG.Float() < p {
-		return true
-	}
-	return false
-}
+func (n *MemNet) BeginRound() { n.faults.BeginRound() }
 
 func clampProb(p float64) float64 {
 	switch {
@@ -378,29 +309,18 @@ func (n *MemNet) PendingCount() int {
 // at the merge point, in canonical order, so the charge sequence and every
 // PRNG consultation are independent of how the sends were scheduled.
 func (n *MemNet) admit(msg Message) bool {
-	size := uint64(msg.WireSize())
-	if limit, ok := n.caps[msg.From]; ok && n.spent[msg.From]+size > limit {
-		n.capDrops++
-		n.dropped++
+	outcome := n.faults.Admit(msg)
+	if outcome == OutcomeCapDropped {
 		return false
 	}
-	n.spent[msg.From] += size
 	tr := n.traffic[msg.From]
 	if tr == nil {
 		tr = &Traffic{}
 		n.traffic[msg.From] = tr
 	}
-	tr.BytesOut += size
+	tr.BytesOut += uint64(msg.WireSize())
 	tr.MsgsOut++
-	if n.drop != nil && n.drop(msg) {
-		n.dropped++
-		return false
-	}
-	if n.faultDrop(msg) {
-		n.dropped++
-		return false
-	}
-	return true
+	return outcome == OutcomePass
 }
 
 // Delivery is one deliverable message paired with its destination's
@@ -540,14 +460,15 @@ func (n *MemNet) TotalTraffic() Traffic {
 	return total
 }
 
-// ResetTraffic zeroes all counters (e.g. after a warm-up phase).
+// ResetTraffic zeroes all counters, including the fault plane's drop
+// counters (e.g. after a warm-up phase).
 func (n *MemNet) ResetTraffic() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	for id := range n.traffic {
 		n.traffic[id] = &Traffic{}
 	}
-	n.dropped = 0
+	n.mu.Unlock()
+	n.faults.resetCounters()
 }
 
 // memEndpoint buffers a node's outbound messages until the next merge

@@ -124,8 +124,20 @@ type SessionConfig struct {
 	// with n workers, and n < 0 the parallel engine with GOMAXPROCS
 	// workers. Every setting produces byte-identical runs from the same
 	// seed — the engines merge traffic in a canonical order at phase
-	// barriers — so Workers is purely a wall-clock knob.
+	// barriers — so Workers is purely a wall-clock knob. The parallel
+	// engine requires the in-memory transport; combined with NewNetwork
+	// it is an error.
 	Workers int
+	// NewNetwork optionally supplies the session's transport (called once
+	// per session, so one config can build several sessions on fresh
+	// networks). Nil runs the deterministic in-memory MemNet; a TCPNet in
+	// stepped mode (SetStepped — required, NewSession rejects a direct-
+	// delivery TCPNet) runs the same session over real sockets. The
+	// parallel engine (Workers != 0) works only on a MemNet, supplied or
+	// default; other transports need the serial engine and trade
+	// byte-identical replay for statistical equivalence: the fault plane
+	// is consulted in wall-clock send order, not canonical merge order.
+	NewNetwork func() transport.FaultyNetwork
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -172,7 +184,7 @@ func (c SessionConfig) withDefaults() SessionConfig {
 // Session is a runnable simulated deployment.
 type Session struct {
 	cfg    SessionConfig
-	net    *transport.MemNet
+	net    transport.FaultyNetwork
 	engine sim.Stepper
 	source *streaming.Source
 
@@ -226,9 +238,23 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if c.Nodes < c.Fanout+2 {
 		return nil, fmt.Errorf("pag: %d nodes too few for fanout %d", c.Nodes, c.Fanout)
 	}
+	var netw transport.FaultyNetwork
+	if c.NewNetwork != nil {
+		netw = c.NewNetwork()
+	} else {
+		netw = transport.NewMemNet()
+	}
+	// Every error return below must release the transport — a TCP-backed
+	// session already holds real listeners once nodes start registering.
+	ok := false
+	defer func() {
+		if !ok {
+			_ = netw.Close()
+		}
+	}()
 	s := &Session{
 		cfg:         c,
-		net:         transport.NewMemNet(),
+		net:         netw,
 		pagNodes:    make(map[model.NodeID]*core.Node),
 		actingNodes: make(map[model.NodeID]*acting.Node),
 		racNodes:    make(map[model.NodeID]*rac.Node),
@@ -237,15 +263,27 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		joinedChunk: make(map[model.NodeID]uint64),
 		departed:    make(map[model.NodeID]model.Round),
 	}
+	// A transport that delivers on its own goroutines (a direct-mode
+	// TCPNet) would run handlers concurrently with node steps — AcTinG
+	// and RAC nodes carry no locks, so that is a race, not a slow path.
+	// The engines' contract is stepped delivery; refuse anything else.
+	if sm, hasMode := s.net.(interface{ SteppedMode() bool }); hasMode && !sm.SteppedMode() {
+		return nil, fmt.Errorf("pag: %s transport must be in stepped delivery mode for a session (call SetStepped before NewSession)", s.net.Name())
+	}
 	if c.Workers == 0 {
 		s.engine = sim.NewEngine(s.net)
 		s.engineKind, s.engineWorkers = "serial", 1
 	} else {
-		pe := engine.New(s.net, c.Workers)
+		mn, isMem := s.net.(*transport.MemNet)
+		if !isMem {
+			return nil, fmt.Errorf("pag: the parallel engine (Workers=%d) requires the in-memory transport; run %s with Workers 0",
+				c.Workers, s.net.Name())
+		}
+		pe := engine.New(mn, c.Workers)
 		s.engine = pe
 		s.engineKind, s.engineWorkers = "parallel", pe.Workers()
 	}
-	s.net.SetFaultSeed(c.Seed)
+	s.net.Faults().SetSeed(c.Seed)
 
 	ids := make([]model.NodeID, c.Nodes)
 	for i := range ids {
@@ -344,6 +382,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	// landed, so concurrent node steps hit a read-only snapshot instead
 	// of racing to build it.
 	s.engine.OnRoundStart(func(r model.Round) { s.dir.View(r) })
+	ok = true
 	return s, nil
 }
 
@@ -355,6 +394,10 @@ type EngineInfo struct {
 	Kind string `json:"kind"`
 	// Workers is the effective worker count (1 for the serial engine).
 	Workers int `json:"workers"`
+	// Transport is the network the run used ("mem" or "tcp"). Like the
+	// rest of this block it is metadata: "mem" runs are byte-identical
+	// under a seed, "tcp" runs are statistically equivalent.
+	Transport string `json:"transport,omitempty"`
 	// ReportDigest, when set by a report writer, is the SHA-256 of the
 	// report's deterministic portion (everything except this field's
 	// struct) — the value to compare across machines and worker counts.
@@ -363,8 +406,12 @@ type EngineInfo struct {
 
 // EngineInfo returns the session's engine metadata.
 func (s *Session) EngineInfo() EngineInfo {
-	return EngineInfo{Kind: s.engineKind, Workers: s.engineWorkers}
+	return EngineInfo{Kind: s.engineKind, Workers: s.engineWorkers, Transport: s.net.Name()}
 }
+
+// Close releases the session's transport (listeners and connections for a
+// TCP-backed session; a no-op for the in-memory network).
+func (s *Session) Close() error { return s.net.Close() }
 
 // Run advances the session by n rounds.
 func (s *Session) Run(n int) { s.engine.Run(n) }

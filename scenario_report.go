@@ -124,13 +124,14 @@ func RunScenarioReport(base SessionConfig, sc scenario.Scenario,
 		s.Run(sc.Rounds - sc.WarmupRounds)
 
 		epochs := s.EpochStats()
+		dropped := s.net.Dropped()
 		run := ProtocolRun{
 			Protocol:          p.String(),
 			Rounds:            sc.Rounds,
 			FinalMembers:      len(s.Members()),
 			MeanContinuity:    s.MeanContinuity(),
 			MeanBandwidthKbps: weightedBandwidth(epochs),
-			MessagesDropped:   s.net.Dropped(),
+			MessagesDropped:   dropped,
 			Epochs:            epochs,
 			Convictions:       []Conviction{},
 			Journal:           s.ScenarioJournal(),
@@ -147,6 +148,10 @@ func RunScenarioReport(base SessionConfig, sc scenario.Scenario,
 			info := s.EngineInfo()
 			report.Engine = &info
 		}
+		// A TCP-backed session holds listeners and connections; each
+		// protocol runs on a fresh network (NewNetwork is a factory), so
+		// the finished one is released here.
+		_ = s.Close()
 	}
 	if report.Engine != nil {
 		report.Engine.ReportDigest = report.Digest()

@@ -117,10 +117,20 @@ func (s *Session) Leave(r model.Round, id model.NodeID) error {
 		return fmt.Errorf("pag: leave of %v: %w", id, err)
 	}
 	s.engine.Remove(id)
-	s.net.SetNodeDown(id, true)
+	s.silence(id)
 	s.departed[id] = r
 	s.bumpEpoch(r)
 	return nil
+}
+
+// silence takes a departed node off the network: the down flag drops
+// anything already heading its way, and deregistering releases its
+// endpoint — on a TCP transport that is a real listener-and-connection
+// teardown, on MemNet it makes later sends to the id fail fast instead of
+// being charged and fault-dropped. Traffic counters survive either way.
+func (s *Session) silence(id model.NodeID) {
+	s.net.Faults().SetNodeDown(id, true)
+	s.net.Unregister(id)
 }
 
 // Crash implements scenario.Applier: the node goes silent immediately but
@@ -141,7 +151,7 @@ func (s *Session) Crash(r model.Round, id model.NodeID, lingerRounds int) error 
 		return s.Leave(r, id)
 	}
 	s.engine.Remove(id)
-	s.net.SetNodeDown(id, true)
+	s.silence(id)
 	s.departed[id] = r
 	s.engine.ScheduleAt(r+model.Round(lingerRounds), func(rr model.Round) {
 		// Detection: the membership drops the crashed node. A failed
@@ -155,28 +165,25 @@ func (s *Session) Crash(r model.Round, id model.NodeID, lingerRounds int) error 
 	return nil
 }
 
-// SetLossRate implements scenario.Applier.
-func (s *Session) SetLossRate(rate float64) { s.net.SetLossRate(rate) }
+// SetLossRate implements scenario.Applier. Like every fault hook below it
+// drives the transport's FaultPlane through the FaultyNetwork interface,
+// so the same scripted timeline runs over MemNet or TCPNet unchanged.
+func (s *Session) SetLossRate(rate float64) { s.net.Faults().SetLossRate(rate) }
 
 // SetLinkLoss implements scenario.Applier.
 func (s *Session) SetLinkLoss(from, to model.NodeID, rate float64) {
-	s.net.SetLinkLoss(from, to, rate)
+	s.net.Faults().SetLinkLoss(from, to, rate)
 }
 
 // Partition implements scenario.Applier.
-func (s *Session) Partition(groups [][]model.NodeID) { s.net.SetPartition(groups...) }
+func (s *Session) Partition(groups [][]model.NodeID) { s.net.Faults().SetPartition(groups...) }
 
 // Heal implements scenario.Applier.
-func (s *Session) Heal() { s.net.Heal() }
+func (s *Session) Heal() { s.net.Faults().Heal() }
 
-// SetUploadCap implements scenario.Applier (kbps of upload per node; one
-// round is one second, §VII-A).
+// SetUploadCap implements scenario.Applier (kbps of upload per node).
 func (s *Session) SetUploadCap(id model.NodeID, kbps int) {
-	if kbps <= 0 {
-		s.net.SetUploadCap(id, 0)
-		return
-	}
-	s.net.SetUploadCap(id, uint64(kbps)*1000/8*model.RoundDurationSeconds)
+	s.net.Faults().SetUploadCapKbps(id, kbps)
 }
 
 // SetBehavior implements scenario.Applier: it maps the protocol-agnostic
@@ -191,16 +198,11 @@ func (s *Session) SetBehavior(id model.NodeID, profile scenario.BehaviorProfile)
 		if !ok {
 			return fmt.Errorf("pag: no PAG node %v", id)
 		}
-		switch profile {
-		case scenario.ProfileCorrect:
-			n.SetBehavior(core.Behavior{})
-		case scenario.ProfileFreeRider:
-			n.SetBehavior(core.Behavior{SkipServeEvery: 1})
-		case scenario.ProfileColluder:
-			n.SetBehavior(core.Behavior{SilentMonitor: true, SkipMonitorReport: true})
-		default:
+		b, known := core.BehaviorForProfile(string(profile))
+		if !known {
 			return fmt.Errorf("pag: unknown behavior profile %q", profile)
 		}
+		n.SetBehavior(b)
 	case ProtocolAcTinG:
 		n, ok := s.actingNodes[id]
 		if !ok {

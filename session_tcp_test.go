@@ -1,0 +1,114 @@
+package pag
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/transport"
+)
+
+// tcpSessionConfig is the loopback-socket analogue of the equivalence
+// tests' base config: every node of the session listens on an ephemeral
+// 127.0.0.1 port, stepped delivery, serial engine.
+func tcpSessionConfig(nodes int) SessionConfig {
+	return SessionConfig{
+		Nodes: nodes, StreamKbps: 2, UpdateBytes: 64, ModulusBits: 128, Seed: 7,
+		NewNetwork: func() transport.FaultyNetwork {
+			tn := transport.NewTCPNet(nil)
+			tn.SetDynamic("127.0.0.1")
+			tn.SetStepped(5 * time.Second)
+			return tn
+		},
+	}
+}
+
+// TestTCPSessionScenarioReport: the acceptance path — a scripted scenario
+// session runs entirely over loopback sockets and produces a report with
+// populated continuity/verdict metrics, structurally comparable to the
+// MemNet report of the same script.
+func TestTCPSessionScenarioReport(t *testing.T) {
+	const nodes = 10
+	sc, err := scenario.ByName("steady-churn", nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 7
+
+	report, err := RunScenarioReport(tcpSessionConfig(nodes), sc,
+		[]Protocol{ProtocolPAG}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Engine == nil || report.Engine.Transport != "tcp" || report.Engine.Kind != "serial" {
+		t.Fatalf("engine metadata %+v, want serial over tcp", report.Engine)
+	}
+	run := report.Protocols[0]
+	if run.MeanContinuity <= 0.5 {
+		t.Errorf("continuity %v over loopback; the stream did not flow", run.MeanContinuity)
+	}
+	if run.MeanBandwidthKbps <= 0 {
+		t.Errorf("bandwidth %v; traffic accounting did not reach the report", run.MeanBandwidthKbps)
+	}
+	if len(run.Epochs) == 0 {
+		t.Error("no epochs recorded under churn")
+	}
+	if len(run.Journal) == 0 {
+		t.Error("empty scenario journal")
+	}
+	if run.FinalMembers <= 0 {
+		t.Errorf("final members %d", run.FinalMembers)
+	}
+
+	// The MemNet run of the same script is the comparison baseline: same
+	// report shape, same journal length (the timeline is seed-driven and
+	// transport-independent), metrics in the same regime.
+	memReport, err := RunScenarioReport(SessionConfig{
+		Nodes: nodes, StreamKbps: 2, UpdateBytes: 64, ModulusBits: 128, Seed: 7,
+	}, sc, []Protocol{ProtocolPAG}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memRun := memReport.Protocols[0]
+	if len(memRun.Journal) != len(run.Journal) {
+		t.Errorf("journal lengths diverge: mem=%d tcp=%d", len(memRun.Journal), len(run.Journal))
+	}
+	if memRun.FinalMembers != run.FinalMembers {
+		t.Errorf("final members diverge: mem=%d tcp=%d", memRun.FinalMembers, run.FinalMembers)
+	}
+	diff := memRun.MeanContinuity - run.MeanContinuity
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.3 {
+		t.Errorf("continuity regimes diverge: mem=%v tcp=%v", memRun.MeanContinuity, run.MeanContinuity)
+	}
+}
+
+// TestTCPSessionRejectsParallelEngine: the parallel engine's byte-identical
+// contract rests on MemNet's canonical merge; combining it with a TCP
+// transport must fail loudly, not silently degrade.
+func TestTCPSessionRejectsParallelEngine(t *testing.T) {
+	cfg := tcpSessionConfig(8)
+	cfg.Workers = 4
+	if _, err := NewSession(cfg); err == nil {
+		t.Fatal("parallel engine over TCP accepted")
+	}
+}
+
+// TestTCPSessionRejectsDirectDelivery: a TCPNet left in direct-delivery
+// mode would run handlers on reader goroutines concurrently with node
+// steps (AcTinG/RAC nodes carry no locks) — NewSession must refuse it.
+func TestTCPSessionRejectsDirectDelivery(t *testing.T) {
+	cfg := tcpSessionConfig(8)
+	cfg.NewNetwork = func() transport.FaultyNetwork {
+		tn := transport.NewTCPNet(nil)
+		tn.SetDynamic("127.0.0.1")
+		return tn // SetStepped deliberately omitted
+	}
+	_, err := NewSession(cfg)
+	if err == nil || !strings.Contains(err.Error(), "stepped") {
+		t.Fatalf("direct-mode TCPNet accepted: %v", err)
+	}
+}
