@@ -13,8 +13,11 @@
 //	pag-scenario -list
 //
 // Canned scenarios: flash-crowd, steady-churn, transient-partition,
-// delayed-coalition. A scenario file is the same JSON the -dump flag
-// prints.
+// delayed-coalition, rejoin-attack. A scenario file is the same JSON the
+// -dump flag prints; an "eviction" block in the script arms the
+// accountability plane's punishment loop (convictions → membership
+// eviction → id quarantine), and the report then carries the eviction
+// and rejoin-rejection logs per protocol and per epoch.
 //
 // -net selects the transport: "mem" (default) runs the deterministic
 // in-memory network — byte-identical reports under a seed — while "tcp"

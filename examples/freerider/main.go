@@ -51,7 +51,7 @@ func run() error {
 
 	convicted := map[model.NodeID]map[core.VerdictKind]int{}
 	falsePositives := 0
-	for _, v := range session.PAGVerdicts {
+	for _, v := range session.PAGVerdicts() {
 		if _, isCheat := cheats[v.Accused]; !isCheat {
 			falsePositives++
 			continue
@@ -74,7 +74,7 @@ func run() error {
 	}
 	fmt.Printf("\nfalse positives against honest nodes: %d\n", falsePositives)
 	fmt.Printf("total verdicts: %d — every deviation detected, honest nodes untouched\n",
-		len(session.PAGVerdicts))
+		len(session.PAGVerdicts()))
 	if falsePositives > 0 {
 		return fmt.Errorf("honest nodes were wrongly convicted")
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/judicial"
 	"repro/internal/membership"
 	"repro/internal/model"
 	"repro/internal/pki"
@@ -85,6 +86,21 @@ type Verdict struct {
 	Reporter model.NodeID
 	Detail   string
 }
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	return fmt.Sprintf("%v %v against %v by %v: %s",
+		v.Round, v.Kind, v.Accused, v.Reporter, v.Detail)
+}
+
+// EvidenceKey implements judicial.Evidence: audit retries for the same
+// (accused, auditor, round, kind) collapse into one fact.
+func (v Verdict) EvidenceKey() judicial.Key {
+	return judicial.Key{Accused: v.Accused, Accuser: v.Reporter, Round: v.Round, Kind: v.Kind.String()}
+}
+
+// Proof implements judicial.Evidence.
+func (v Verdict) Proof() []byte { return []byte(v.String()) }
 
 // Behavior injects selfish deviations.
 type Behavior struct {

@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"repro/internal/hhash"
+	"repro/internal/judicial"
 	"repro/internal/membership"
 	"repro/internal/model"
 	"repro/internal/pki"
@@ -122,6 +123,16 @@ func (v Verdict) String() string {
 		v.Round, v.Kind, v.Accused, v.Reporter, v.Detail)
 }
 
+// EvidenceKey implements judicial.Evidence: monitor retries and re-raised
+// findings for the same (accused, accuser, round, kind) collapse into one
+// fact in the accountability plane.
+func (v Verdict) EvidenceKey() judicial.Key {
+	return judicial.Key{Accused: v.Accused, Accuser: v.Reporter, Round: v.Round, Kind: v.Kind.String()}
+}
+
+// Proof implements judicial.Evidence.
+func (v Verdict) Proof() []byte { return []byte(v.String()) }
+
 // Behavior configures selfish deviations for fault-injection experiments
 // (§II-A: nodes "tamper with their software ... to maximise their benefit
 // while minimising their contribution"). The zero value is a correct node.
@@ -130,6 +141,12 @@ type Behavior struct {
 	// n-th (round, successor) slot — a free-rider saving upload
 	// bandwidth. 0 disables.
 	SkipServeEvery int
+	// SkipServeOnRotation makes the node skip every serve, but only in
+	// rounds whose monitor epoch just changed — the publicly computable
+	// rounds where, without obligation handover, the forwarding check is
+	// suspended system-wide. A strategic free-rider: behaves perfectly
+	// except exactly where the pre-handover accountability was blind.
+	SkipServeOnRotation bool
 	// DropUpdates makes the node silently drop this many updates from
 	// every Serve while attesting only what it sends — saving payload
 	// bandwidth. 0 disables.
@@ -167,6 +184,8 @@ func BehaviorForProfile(profile string) (b Behavior, ok bool) {
 		return Behavior{SkipServeEvery: 1}, true
 	case "colluder":
 		return Behavior{SilentMonitor: true, SkipMonitorReport: true}, true
+	case "rotation-dodger":
+		return Behavior{SkipServeOnRotation: true}, true
 	default:
 		return Behavior{}, false
 	}
@@ -199,6 +218,11 @@ type Config struct {
 	BuffermapWindow int
 	// Behavior optionally injects selfish deviations.
 	Behavior Behavior
+	// NoObligationHandover disables the monitor-rotation obligation
+	// handover (the pre-handover protocol) — an ablation that re-opens
+	// the rotation-round forwarding-check gap, kept for regression tests
+	// that document the exploit.
+	NoObligationHandover bool
 	// Verdicts receives proofs of misbehaviour; may be nil.
 	Verdicts func(Verdict)
 	// OnDeliver receives playback-ready updates; may be nil.

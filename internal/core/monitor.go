@@ -58,6 +58,24 @@ type probeKey struct {
 	round   model.Round
 }
 
+// handoverRec is one outgoing monitor's obligation transfer for a
+// monitored node, received at a monitor-rotation boundary.
+type handoverRec struct {
+	from    model.NodeID
+	value   *big.Int
+	suspect bool
+	// enc is the wire encoding of value — the deterministic vote key.
+	enc []byte
+}
+
+// voteKey collapses identical (value, suspect) transfers into one ballot.
+func (h handoverRec) voteKey() string {
+	if h.suspect {
+		return "s" + string(h.enc)
+	}
+	return "o" + string(h.enc)
+}
+
 // monitorState is the monitor-role state of a node.
 type monitorState struct {
 	n *Node
@@ -72,6 +90,10 @@ type monitorState struct {
 	// ackCopies holds message-6 payloads keyed by (monitored, pred).
 	ackCopies map[model.Round]map[[2]model.NodeID][]byte
 	probes    map[probeKey]bool // true = resolved
+	// handovers holds obligation transfers from outgoing monitors, keyed
+	// by (obligation round, monitored node) — the forwarding-check
+	// baseline for nodes this monitor took over at a rotation boundary.
+	handovers map[model.Round]map[model.NodeID][]handoverRec
 }
 
 func newMonitorState(n *Node) *monitorState {
@@ -80,6 +102,7 @@ func newMonitorState(n *Node) *monitorState {
 		rounds:    make(map[model.Round]map[model.NodeID]*monNodeRound),
 		ackCopies: make(map[model.Round]map[[2]model.NodeID][]byte),
 		probes:    make(map[probeKey]bool),
+		handovers: make(map[model.Round]map[model.NodeID][]handoverRec),
 	}
 }
 
@@ -436,11 +459,12 @@ func (m *monitorState) verify(r model.Round) {
 		}
 	}
 
-	// Handover epoch check, hoisted: when the monitor epoch did not move
-	// between r-1 and r (the overwhelmingly common case), membership and
-	// monitor assignments are identical in both rounds and the per-y
-	// guard below is vacuous — skip its O(N) recomputations.
-	handover := r > 0 &&
+	// Monitor-epoch boundary check, hoisted: when the monitor epoch did
+	// not move between r-1 and r (the overwhelmingly common case),
+	// membership and monitor assignments are identical in both rounds and
+	// the baseline resolution below always takes the own-accumulation
+	// fast path — skip its O(N) recomputations.
+	boundary := r > 0 &&
 		m.n.cfg.Directory.MonitorEpoch(r) != m.n.cfg.Directory.MonitorEpoch(r-1)
 
 	for _, y := range m.monitored {
@@ -452,34 +476,17 @@ func (m *monitorState) verify(r model.Round) {
 		if m.n.isSource(y) {
 			continue
 		}
-		// Handover guard: the round-(r-1) obligation is only observable
-		// to monitors that already monitored y in r-1 — a monitor that
-		// took over at this round's epoch (churn re-seating, rotation)
-		// has no baseline and must not convict on its absence. Same for
-		// a y that joined this round: it has no r-1 obligation at all.
-		//
-		// Known limitation: with MonitorRotationRounds > 0 the rotation
-		// re-draws every monitor set at once, so this guard suspends the
-		// forwarding check system-wide for that one (publicly
-		// computable) round. Closing the gap needs obligation handover
-		// between outgoing and incoming monitors — see ROADMAP. Churn
-		// re-seating does not have this problem: rendezvous assignment
-		// only re-draws the sets the joiner/leaver touched.
-		if handover && (!m.n.cfg.Directory.ContainsAt(y, r-1) ||
-			!m.isMonitorOf(m.n.id, y, r-1)) {
+		// Baseline resolution: a monitor's own accumulation, or — when it
+		// took over y at this round's epoch boundary — the obligation the
+		// outgoing monitors handed over. A suspect baseline (the digest
+		// cross-check proved it incomplete) must not convict: it would
+		// frame an honest forwarder. No baseline at all (y joined this
+		// round, or no handover arrived after churn re-seating) skips the
+		// check, exactly as before the handover protocol.
+		prev, suspect, ok := m.baseline(r, y, boundary)
+		if !ok || suspect {
 			continue
 		}
-		// Suspect baseline: the digest cross-check of round r-1 proved
-		// the obligation incomplete (a designated monitor never shared
-		// an exchange — already blamed as MonitorSilent). Convicting y
-		// against a baseline known to miss receptions would frame an
-		// honest forwarder.
-		if per, ok := m.rounds[r-1]; ok {
-			if prevSt, ok := per[y]; ok && prevSt.suspect {
-				continue
-			}
-		}
-		prev := m.obligationOf(r-1, y)
 		for _, succ := range m.n.cfg.Directory.Successors(y, r) {
 			ack, ok := st.succAcks[succ]
 			switch {
@@ -507,6 +514,147 @@ func (m *monitorState) obligationOf(r model.Round, y model.NodeID) *big.Int {
 		}
 	}
 	return big.NewInt(1)
+}
+
+// baseline resolves the round-(r-1) obligation that y's round-r forwarding
+// is verified against, with its suspect flag; ok=false means no baseline
+// exists and the check must be skipped. Off an epoch boundary (or when
+// this monitor already monitored y at r-1) it is the monitor's own
+// accumulation; on a boundary where this monitor took over, it is the
+// majority of the outgoing monitors' handovers.
+func (m *monitorState) baseline(r model.Round, y model.NodeID, boundary bool) (prev *big.Int, suspect, ok bool) {
+	if boundary && !m.n.cfg.Directory.ContainsAt(y, r-1) {
+		return nil, false, false // joined this round: no r-1 obligation at all
+	}
+	if !boundary || m.isMonitorOf(m.n.id, y, r-1) {
+		if per, ok := m.rounds[r-1]; ok {
+			if prevSt, ok := per[y]; ok {
+				suspect = prevSt.suspect
+			}
+		}
+		return m.obligationOf(r-1, y), suspect, true
+	}
+	return m.handedBaseline(r-1, y)
+}
+
+// handedBaseline returns the quorum obligation among the handover
+// transfers received for (r, y): the winning (value, suspect) ballot
+// must be backed by a majority of y's round-r monitor set, so one
+// malicious — or merely the only one whose transfer survived a lossy
+// path — outgoing monitor can never dictate a conviction baseline;
+// below quorum the check is skipped, exactly the safe pre-handover
+// behaviour. The vote is order-independent (counts per encoded value,
+// ties broken on the smaller key), so the result never depends on
+// message arrival order — the parallel engine's byte-identity requires
+// it.
+func (m *monitorState) handedBaseline(r model.Round, y model.NodeID) (*big.Int, bool, bool) {
+	recs := m.handovers[r][y]
+	if len(recs) == 0 {
+		return nil, false, false
+	}
+	votes := make(map[string]int, len(recs))
+	byKey := make(map[string]handoverRec, len(recs))
+	for _, rec := range recs {
+		k := rec.voteKey()
+		votes[k]++
+		byKey[k] = rec
+	}
+	var bestKey string
+	best := -1
+	for k, n := range votes {
+		if n > best || (n == best && k < bestKey) {
+			best, bestKey = n, k
+		}
+	}
+	if quorum := len(m.n.cfg.Directory.Monitors(y, r)) / 2; best <= quorum {
+		return nil, false, false
+	}
+	win := byKey[bestKey]
+	return win.value, win.suspect, true
+}
+
+// handover runs at CloseRound(r): when the monitor epoch rotates at r+1,
+// every outgoing monitor transfers its accumulated round-r obligations to
+// the monitors taking over, so the rotation round stays covered by the
+// forwarding check instead of opening the pre-handover gap (a free-rider
+// could skip serves exactly on rotation rounds and never be convicted).
+// Membership churn landing at r+1 is not yet visible here — handover
+// targets are computed from the current epoch — but churn re-seats
+// monitors one node at a time (rendezvous stickiness), so the system-wide
+// blind round only ever came from rotation.
+func (m *monitorState) handover(r model.Round) {
+	d := m.n.cfg.Directory
+	if d.MonitorEpoch(r+1) == d.MonitorEpoch(r) {
+		return
+	}
+	for _, y := range m.monitored {
+		if m.n.isSource(y) {
+			continue
+		}
+		st := m.state(r, y)
+		enc, err := m.n.cfg.HashParams.EncodeValue(st.obligation)
+		if err != nil {
+			continue
+		}
+		ho := &wire.ObligationHandover{
+			Round:      r,
+			From:       m.n.id,
+			Monitored:  y,
+			Obligation: enc,
+			Suspect:    st.suspect,
+		}
+		sig, err := m.n.cfg.Identity.Sign(ho.SigningBytes())
+		if err != nil {
+			continue
+		}
+		ho.Sig = sig
+		payload := ho.Marshal()
+		for _, peer := range d.Monitors(y, r+1) {
+			if peer == m.n.id || d.IsMonitorOf(peer, y, r) {
+				continue // staying monitors keep their own accumulation
+			}
+			_ = m.n.cfg.Endpoint.Send(peer, wire.KindObligationHandover, payload)
+		}
+	}
+}
+
+// onObligationHandover stores an outgoing monitor's obligation transfer.
+func (m *monitorState) onObligationHandover(msg transport.Message) {
+	if m.n.cfg.Behavior.SilentMonitor {
+		return
+	}
+	ho, err := wire.UnmarshalObligationHandover(msg.Payload)
+	if err != nil || ho.From != msg.From {
+		return
+	}
+	if !m.n.verify(ho.From, ho.SigningBytes(), ho.Sig, "ObligationHandover") {
+		return
+	}
+	// Only an outgoing monitor of the node may originate the transfer,
+	// and only a monitor that takes over at the next round — without a
+	// baseline of its own — consumes it.
+	if !m.isMonitorOf(ho.From, ho.Monitored, ho.Round) ||
+		!m.isMonitorOf(m.n.id, ho.Monitored, ho.Round+1) ||
+		m.isMonitorOf(m.n.id, ho.Monitored, ho.Round) {
+		return
+	}
+	v, err := m.n.cfg.HashParams.DecodeValue(ho.Obligation)
+	if err != nil {
+		return
+	}
+	per, ok := m.handovers[ho.Round]
+	if !ok {
+		per = make(map[model.NodeID][]handoverRec)
+		m.handovers[ho.Round] = per
+	}
+	for _, rec := range per[ho.Monitored] {
+		if rec.from == ho.From {
+			return // duplicate transfer
+		}
+	}
+	per[ho.Monitored] = append(per[ho.Monitored], handoverRec{
+		from: ho.From, value: v, suspect: ho.Suspect, enc: ho.Obligation,
+	})
 }
 
 // blameDigestMismatch attributes a digest/obligation conflict: if the
@@ -537,6 +685,8 @@ func (m *monitorState) blameDigestMismatch(r model.Round, y model.NodeID, st *mo
 // judge runs at CloseRound(r): it resolves the investigations opened by
 // verify using the AckExhibit answers (§IV-A's guilt assignment).
 func (m *monitorState) judge(r model.Round) {
+	boundary := r > 0 &&
+		m.n.cfg.Directory.MonitorEpoch(r) != m.n.cfg.Directory.MonitorEpoch(r-1)
 	for _, y := range m.monitored {
 		per, ok := m.rounds[r]
 		if !ok {
@@ -556,7 +706,13 @@ func (m *monitorState) judge(r model.Round) {
 			st.suspect = true
 		}
 
-		prev := m.obligationOf(r-1, y)
+		// Investigations exist only where verify resolved a baseline; the
+		// same resolution (own accumulation or handover majority) applies
+		// at judgement.
+		prev, _, okBase := m.baseline(r, y, boundary)
+		if !okBase {
+			prev = big.NewInt(1)
+		}
 		for succ := range st.requested {
 			if ack, ok := st.succAcks[succ]; ok {
 				// A Confirm arrived during the investigation window.
@@ -634,6 +790,11 @@ func (m *monitorState) gc(r model.Round) {
 	for key := range m.probes {
 		if key.round+keep < r {
 			delete(m.probes, key)
+		}
+	}
+	for rr := range m.handovers {
+		if rr+keep < r {
+			delete(m.handovers, rr)
 		}
 	}
 }

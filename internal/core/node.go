@@ -281,11 +281,21 @@ func (n *Node) BeginRound(r model.Round) {
 
 	n.mon.beginRound(r)
 
+	// A rotation dodger skips all serves exactly in the rounds whose
+	// monitor epoch moved — the rounds the pre-handover forwarding check
+	// could not cover.
+	dodge := n.cfg.Behavior.SkipServeOnRotation && r > 1 &&
+		n.cfg.Directory.MonitorEpoch(r) != n.cfg.Directory.MonitorEpoch(r-1)
+
 	// Open the exchange with every successor.
 	succs := n.cfg.Directory.Successors(n.id, r)
 	for i, succ := range succs {
 		ex := &sendExchange{}
 		send.perSucc[succ] = ex
+		if dodge {
+			ex.skipped = true
+			continue
+		}
 		if b := n.cfg.Behavior.SkipServeEvery; b > 0 && (int(r)+i)%b == 0 {
 			ex.skipped = true
 			continue
@@ -337,6 +347,12 @@ func (n *Node) CloseRound(r model.Round) {
 	defer n.mu.Unlock()
 	if !n.cfg.Behavior.SilentMonitor {
 		n.mon.judge(r)
+		// Judgement settled the round's suspect flags; if the monitor
+		// epoch rotates at r+1, hand the accumulated obligations to the
+		// incoming monitors before they are needed.
+		if !n.cfg.NoObligationHandover {
+			n.mon.handover(r)
+		}
 	}
 
 	// Deliver everything whose playback deadline has arrived.
@@ -432,6 +448,8 @@ func (n *Node) dispatch(msg transport.Message) {
 		n.onAckRequest(msg)
 	case wire.KindAckExhibit:
 		n.mon.onAckExhibit(msg)
+	case wire.KindObligationHandover:
+		n.mon.onObligationHandover(msg)
 	default:
 		n.report(Verdict{
 			Round: n.round, Kind: VerdictBadMessage, Accused: msg.From,
@@ -488,6 +506,8 @@ func setSig(m interface{ Kind() uint8 }, sig []byte) {
 	case *wire.AckRequest:
 		v.Sig = sig
 	case *wire.AckExhibit:
+		v.Sig = sig
+	case *wire.ObligationHandover:
 		v.Sig = sig
 	}
 }

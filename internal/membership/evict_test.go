@@ -1,0 +1,115 @@
+package membership
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Eviction / quarantine coverage: the membership half of the
+// accountability plane's punishment loop.
+
+func TestEvictOpensEpochAndQuarantines(t *testing.T) {
+	d := newDir(t, 12, Config{Seed: 3})
+	victim := model.NodeID(7)
+	if err := d.Evict(victim, 10, 18); err != nil {
+		t.Fatal(err)
+	}
+	if d.Contains(victim) {
+		t.Fatal("evicted node still a member")
+	}
+	if d.ContainsAt(victim, 9) != true {
+		t.Fatal("eviction rewrote history: node missing from pre-eviction epoch")
+	}
+	until, ok := d.QuarantinedUntil(victim)
+	if !ok || until != 18 {
+		t.Fatalf("quarantine (%v, %v), want (18, true)", until, ok)
+	}
+
+	// Mid-quarantine Join attempts are rejected with a QuarantineError.
+	err := d.Join(victim, 14)
+	var q *QuarantineError
+	if !errors.As(err, &q) || q.Node != victim || q.Until != 18 {
+		t.Fatalf("mid-quarantine join: %v", err)
+	}
+	// Expiry: the join is admitted and the quarantine record cleared.
+	if err := d.Join(victim, 18); err != nil {
+		t.Fatalf("post-quarantine join: %v", err)
+	}
+	if _, still := d.QuarantinedUntil(victim); still {
+		t.Fatal("quarantine record survived re-admission")
+	}
+	if !d.Contains(victim) {
+		t.Fatal("re-admitted node not a member")
+	}
+}
+
+func TestEvictedExcludedFromAssignments(t *testing.T) {
+	d := newDir(t, 12, Config{Seed: 5})
+	victim := model.NodeID(9)
+	if err := d.Evict(victim, 20, 40); err != nil {
+		t.Fatal(err)
+	}
+	for r := model.Round(20); r <= 26; r++ {
+		for _, x := range d.MembersAt(r) {
+			for _, s := range d.Successors(x, r) {
+				if s == victim {
+					t.Fatalf("round %v: evicted node a successor of %v", r, x)
+				}
+			}
+			for _, m := range d.Monitors(x, r) {
+				if m == victim {
+					t.Fatalf("round %v: evicted node monitors %v", r, x)
+				}
+			}
+		}
+		if len(d.Successors(victim, r)) != 0 {
+			t.Fatalf("round %v: evicted node still assigned successors", r)
+		}
+	}
+	// Pre-eviction rounds keep seeing the old assignment (late
+	// verification of round 19 must not be rewritten).
+	found := false
+	for _, x := range d.MembersAt(19) {
+		if x == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("eviction rewrote the pre-eviction member list")
+	}
+}
+
+func TestEvictUnknownAndUndersized(t *testing.T) {
+	d := newDir(t, 5, Config{Seed: 1, Fanout: 3, Monitors: 3})
+	if err := d.Evict(model.NodeID(99), 4, 8); err == nil {
+		t.Fatal("evicting a non-member succeeded")
+	}
+	// 5 members, fanout 3: removing one would leave 4 > 3, removing two
+	// would hit the floor.
+	if err := d.Evict(model.NodeID(5), 4, 8); err != nil {
+		t.Fatalf("first eviction: %v", err)
+	}
+	if err := d.Evict(model.NodeID(4), 5, 9); err == nil {
+		t.Fatal("eviction below the fanout floor succeeded")
+	}
+	if _, q := d.QuarantinedUntil(model.NodeID(4)); q {
+		t.Fatal("failed eviction still quarantined the id")
+	}
+}
+
+func TestQuarantineZeroLengthIsNoBar(t *testing.T) {
+	d := newDir(t, 12, Config{Seed: 2})
+	victim := model.NodeID(4)
+	// until == from: an immediate re-join is legal (quarantine 0).
+	if err := d.Evict(victim, 6, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, q := d.QuarantinedUntil(victim); q {
+		t.Fatal("zero-length quarantine recorded")
+	}
+	if err := d.Join(victim, 7); err != nil {
+		t.Fatalf("re-join after zero quarantine: %v", err)
+	}
+}

@@ -71,6 +71,25 @@ type Directory struct {
 	// node): the rendezvous scan is O(N) per call and monitor lookups are
 	// the hottest directory read the accountability checks make.
 	monitors map[monKey][]model.NodeID
+
+	// quarantine bars evicted ids from re-joining until the recorded
+	// round — the membership half of the accountability plane's
+	// punishment loop (Evict).
+	quarantine map[model.NodeID]model.Round
+}
+
+// QuarantineError rejects a Join of an id still serving an eviction
+// quarantine. Callers distinguish it (errors.As) from other Join failures
+// to count re-join attacks.
+type QuarantineError struct {
+	Node model.NodeID
+	// Until is the first round the id may re-join.
+	Until model.Round
+}
+
+// Error implements error.
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("membership: node %v is quarantined until round %v", e.Node, e.Until)
 }
 
 // monKey identifies one memoised monitor set.
@@ -114,10 +133,11 @@ func New(nodes []model.NodeID, cfg Config) (*Directory, error) {
 			cfg.Monitors, len(sorted))
 	}
 	return &Directory{
-		cfg:      cfg,
-		epochs:   []*epoch{newEpoch(0, 0, sorted)},
-		views:    make(map[model.Round]*RoundView),
-		monitors: make(map[monKey][]model.NodeID),
+		cfg:        cfg,
+		epochs:     []*epoch{newEpoch(0, 0, sorted)},
+		views:      make(map[model.Round]*RoundView),
+		monitors:   make(map[monKey][]model.NodeID),
+		quarantine: make(map[model.NodeID]model.Round),
 	}, nil
 }
 
@@ -151,6 +171,13 @@ func (d *Directory) Join(id model.NodeID, from model.Round) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if until, barred := d.quarantine[id]; barred {
+		if from < until {
+			return &QuarantineError{Node: id, Until: until}
+		}
+		// Quarantine served: the id may re-enter.
+		delete(d.quarantine, id)
+	}
 	cur := d.current()
 	if from < cur.start {
 		return fmt.Errorf("membership: join at %v predates current epoch (start %v)",
@@ -173,6 +200,37 @@ func (d *Directory) Join(id model.NodeID, from model.Round) error {
 func (d *Directory) Leave(id model.NodeID, from model.Round) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.remove(id, from)
+}
+
+// Evict removes a member like Leave and additionally quarantines its id:
+// Join rejects it (with a QuarantineError) for every round before until.
+// This is the punishment hook of §II-B made concrete — convicted nodes
+// are expelled from the membership, which by construction excludes them
+// from every successor and monitor assignment of subsequent epochs.
+func (d *Directory) Evict(id model.NodeID, from, until model.Round) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.remove(id, from); err != nil {
+		return err
+	}
+	if until > from {
+		d.quarantine[id] = until
+	}
+	return nil
+}
+
+// QuarantinedUntil reports whether id is quarantined, and until which
+// round.
+func (d *Directory) QuarantinedUntil(id model.NodeID) (model.Round, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	until, ok := d.quarantine[id]
+	return until, ok
+}
+
+// remove drops a member and opens a new epoch; callers hold d.mu.
+func (d *Directory) remove(id model.NodeID, from model.Round) error {
 	cur := d.current()
 	if from < cur.start {
 		return fmt.Errorf("membership: leave at %v predates current epoch (start %v)",

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/judicial"
 	"repro/internal/membership"
 	"repro/internal/model"
 	"repro/internal/pki"
@@ -64,6 +65,21 @@ type Verdict struct {
 	Detail   string
 }
 
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	return fmt.Sprintf("%v %v against %v by %v: %s",
+		v.Round, v.Kind, v.Accused, v.Reporter, v.Detail)
+}
+
+// EvidenceKey implements judicial.Evidence: repeated reports of the same
+// (accused, accuser, round, kind) collapse into one fact.
+func (v Verdict) EvidenceKey() judicial.Key {
+	return judicial.Key{Accused: v.Accused, Accuser: v.Reporter, Round: v.Round, Kind: v.Kind.String()}
+}
+
+// Proof implements judicial.Evidence.
+func (v Verdict) Proof() []byte { return []byte(v.String()) }
+
 // Behavior injects selfish deviations.
 type Behavior struct {
 	// DropRelays makes the node stop relaying foreign slots (saving the
@@ -98,6 +114,8 @@ type Node struct {
 	ring []model.NodeID // sorted members
 	succ model.NodeID
 	pred model.NodeID
+	// selfIdx is this node's position on the ring.
+	selfIdx int
 	// ringEpoch/ringValid gate the per-round ring refresh on membership
 	// epoch changes.
 	ringEpoch int
@@ -278,6 +296,7 @@ func (n *Node) refreshRing(r model.Round) {
 		return
 	}
 	n.ring = ring
+	n.selfIdx = self
 	n.succ = ring[(self+1)%len(ring)]
 	n.pred = ring[(self-1+len(ring))%len(ring)]
 }
@@ -321,29 +340,55 @@ func (n *Node) BeginRound(r model.Round) {
 func (n *Node) MidRound(model.Round) {}
 
 // EndRound audits the round's slot coverage: every other member's slots
-// must have passed by. A wholesale shortage means the ring predecessor
-// dropped its relays; an isolated missing origin failed to emit cover
-// traffic.
+// must have passed by. Blame is localised before it is assigned: a slot
+// of origin o travels the arc o → o+1 → … → pred → self, so a relay
+// dropper at b starves exactly the origins upstream of b while b itself
+// (its own emission needs no relay through b) still arrives. Missing
+// origins therefore group into contiguous ring runs, and the member just
+// downstream of a run is where the chain broke. Blaming the predecessor
+// (or the missing origins themselves) wholesale would frame every honest
+// node downstream of one dropper — and a punishment loop would then evict
+// half the ring for a single deviator.
 func (n *Node) EndRound(r model.Round) {
-	var missing []model.NodeID
-	for _, o := range n.ring {
-		if o == n.id {
+	size := len(n.ring)
+	if size < 2 {
+		return
+	}
+	at := func(k int) model.NodeID { return n.ring[(n.selfIdx+k)%size] }
+	seen := func(k int) bool { return n.seenOrigins[at(k)] >= SlotRate }
+	// Walk the arc from the successor around to the predecessor in flow
+	// order, grouping missing origins into runs.
+	for k := 1; k < size; {
+		if seen(k) {
+			k++
 			continue
 		}
-		if n.seenOrigins[o] < SlotRate {
-			missing = append(missing, o)
+		start := k
+		for k < size && !seen(k) {
+			k++
 		}
-	}
-	switch {
-	case len(missing) == 0:
-	case len(missing) >= len(n.ring)/2:
-		n.report(Verdict{Round: r, Kind: VerdictDroppedSlots, Accused: n.pred,
-			Detail: fmt.Sprintf("%d/%d origins missing: relays dropped",
-				len(missing), len(n.ring)-1)})
-	default:
-		for _, o := range missing {
-			n.report(Verdict{Round: r, Kind: VerdictDroppedSlots, Accused: o,
+		switch {
+		case k-start == 1 && k < size:
+			// A single missing origin with its downstream neighbour
+			// intact: the origin skipped its cover emission. (A dropper
+			// directly upstream of that neighbour is locally
+			// indistinguishable — resolving the ambiguity needs the
+			// other members' observations, which the shared verdict
+			// registry aggregates; a lone mistaken accusation stays
+			// below any sane conviction threshold.)
+			n.report(Verdict{Round: r, Kind: VerdictDroppedSlots, Accused: at(start),
 				Detail: "no cover slot emitted"})
+		case k == size:
+			// The run reaches the predecessor: nothing at all came in.
+			n.report(Verdict{Round: r, Kind: VerdictDroppedSlots, Accused: n.pred,
+				Detail: fmt.Sprintf("%d origins missing: predecessor relayed nothing",
+					k-start)})
+		default:
+			// The first member downstream of the run received nothing
+			// from it yet arrived itself: the relay chain broke there.
+			n.report(Verdict{Round: r, Kind: VerdictDroppedSlots, Accused: at(k),
+				Detail: fmt.Sprintf("%d origins missing: relay chain broken at %v",
+					k-start, at(k))})
 		}
 	}
 }

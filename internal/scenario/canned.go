@@ -103,9 +103,43 @@ func DelayedCoalition(adversaries []model.NodeID, profile BehaviorProfile, at mo
 	return s
 }
 
+// RejoinAttack scripts a punishment-loop stress test: the attacker turns
+// free-rider at round `at`, accumulates verdicts until the eviction policy
+// (threshold convictions, `quarantine` rounds of id ban) expels it, then
+// tries to re-join its old id twice while quarantined (both rejected),
+// slips two fresh-id Sybils in mid-quarantine (admitted — identity-based
+// quarantine cannot stop fresh identities without admission control, which
+// the report documents), re-joins legitimately after expiry, and promptly
+// relapses — exercising the re-conviction path.
+func RejoinAttack(attacker model.NodeID, at model.Round, threshold, quarantine, rounds int) Scenario {
+	return Scenario{
+		Name: "rejoin-attack",
+		Description: fmt.Sprintf(
+			"node %v free-rides from round %v, is evicted at %d convictions, probes its %d-round quarantine with rejoins and Sybil churn, then relapses after re-admission",
+			attacker, at, threshold, quarantine),
+		Seed:         1,
+		Rounds:       rounds,
+		WarmupRounds: 2,
+		Eviction:     &Eviction{ConvictionThreshold: threshold, QuarantineRounds: quarantine},
+		Events: []Event{
+			{Round: at, Action: ActionSetBehavior, Node: attacker, Behavior: ProfileFreeRider},
+			// Quarantine probes under the banned id.
+			{Round: 12, Action: ActionJoin, Node: attacker},
+			{Round: 16, Action: ActionJoin, Node: attacker},
+			// Sybil churn: fresh ids sail through the id quarantine.
+			{Round: 15, Action: ActionJoin},
+			{Round: 15, Action: ActionJoin},
+			// Legitimate re-admission after the quarantine expires...
+			{Round: 26, Action: ActionJoin, Node: attacker},
+			// ...followed by an immediate relapse.
+			{Round: 27, Action: ActionSetBehavior, Node: attacker, Behavior: ProfileFreeRider},
+		},
+	}
+}
+
 // Names lists the canned scenarios ByName serves, in display order.
 func Names() []string {
-	return []string{"flash-crowd", "steady-churn", "transient-partition", "delayed-coalition"}
+	return []string{"flash-crowd", "steady-churn", "transient-partition", "delayed-coalition", "rejoin-attack"}
 }
 
 // ByName returns a canned scenario with defaults sized for a session of
@@ -123,6 +157,8 @@ func ByName(name string, nodes int) (Scenario, error) {
 	case "delayed-coalition":
 		advs := []model.NodeID{model.NodeID(nodes - 1), model.NodeID(nodes)}
 		return DelayedCoalition(advs, ProfileFreeRider, 11, 30), nil
+	case "rejoin-attack":
+		return RejoinAttack(model.NodeID(nodes), 3, 6, 14, 30), nil
 	default:
 		return Scenario{}, fmt.Errorf("scenario: unknown canned scenario %q (have %v)", name, Names())
 	}

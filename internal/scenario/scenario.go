@@ -73,6 +73,11 @@ const (
 	// accountability infrastructure (PAG: silent monitor + no reports;
 	// AcTinG: refuse audits; RAC: no cover traffic).
 	ProfileColluder BehaviorProfile = "colluder"
+	// ProfileRotationDodger free-rides only in the rounds where the
+	// pre-handover accountability was blind (PAG: skip serves exactly on
+	// monitor-rotation rounds; AcTinG/RAC have no rotation concept and
+	// map it to their plain free-rider knobs).
+	ProfileRotationDodger BehaviorProfile = "rotation-dodger"
 )
 
 // Event is one scripted occurrence. Unused fields stay zero; Validate
@@ -146,6 +151,24 @@ type Scenario struct {
 	Events []Event `json:"events,omitempty"`
 	// Churn optionally generates additional join/leave/crash events.
 	Churn *Churn `json:"churn,omitempty"`
+	// Eviction optionally arms the accountability plane's punishment
+	// loop for the run: nodes reaching the conviction threshold are
+	// evicted from the membership and their ids quarantined. Nil keeps
+	// the reporting-only behaviour.
+	Eviction *Eviction `json:"eviction,omitempty"`
+}
+
+// Eviction scripts the punishment loop: how much deduplicated evidence
+// convicts, and how long an evicted id stays barred from re-joining. It is
+// part of the scenario (not a session flag) so a script fully determines
+// the run, and the same script replays identically over any transport.
+type Eviction struct {
+	// ConvictionThreshold is the deduplicated verdict count that
+	// convicts (>= 1).
+	ConvictionThreshold int `json:"conviction_threshold"`
+	// QuarantineRounds bars the evicted id from re-joining for this many
+	// rounds after the eviction.
+	QuarantineRounds int `json:"quarantine_rounds"`
 }
 
 // ParseJSON decodes and validates a scenario document.
@@ -185,6 +208,15 @@ func (s Scenario) Validate() error {
 		if e.Round < 1 || e.Round > model.Round(s.Rounds) {
 			return fmt.Errorf("scenario %q: event %d: round %v outside [1, %d]",
 				s.Name, i, e.Round, s.Rounds)
+		}
+	}
+	if ev := s.Eviction; ev != nil {
+		if ev.ConvictionThreshold < 1 {
+			return fmt.Errorf("scenario %q: eviction threshold %d must be >= 1",
+				s.Name, ev.ConvictionThreshold)
+		}
+		if ev.QuarantineRounds < 0 {
+			return fmt.Errorf("scenario %q: negative quarantine", s.Name)
 		}
 	}
 	if c := s.Churn; c != nil {
@@ -237,7 +269,7 @@ func (e Event) validate() error {
 			return fmt.Errorf("set_behavior needs a node")
 		}
 		switch e.Behavior {
-		case ProfileCorrect, ProfileFreeRider, ProfileColluder:
+		case ProfileCorrect, ProfileFreeRider, ProfileColluder, ProfileRotationDodger:
 		default:
 			return fmt.Errorf("unknown behavior profile %q", e.Behavior)
 		}

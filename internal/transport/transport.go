@@ -179,9 +179,14 @@ func (n *MemNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
 	n.active[id] = ep
 	n.regMu.Unlock()
 	// regMu and mu are never nested (lock-order hygiene): the traffic
-	// account is (re)initialised in a separate critical section.
+	// account is initialised in a separate critical section. A re-register
+	// after Unregister (an evicted node re-joining under its old id) keeps
+	// the id's counters: totals must stay monotonic or epoch bandwidth
+	// deltas would underflow.
 	n.mu.Lock()
-	n.traffic[id] = &Traffic{}
+	if _, ok := n.traffic[id]; !ok {
+		n.traffic[id] = &Traffic{}
+	}
 	n.mu.Unlock()
 	return ep, nil
 }

@@ -26,6 +26,12 @@ const (
 	KindNack        uint8 = 14 // §IV-A: M(B) → M(A), B unresponsive
 	KindAckRequest  uint8 = 15 // §IV-A: M(A) demands the Ack from A
 	KindAckExhibit  uint8 = 16 // §IV-A: A's reply
+	// KindObligationHandover is beyond the paper: at a monitor-rotation
+	// boundary, an outgoing monitor transfers its accumulated obligation
+	// for a monitored node to the incoming monitors, closing the
+	// rotation-round gap in the forwarding check (see ROADMAP "Monitor
+	// obligation handover").
+	KindObligationHandover uint8 = 17
 )
 
 // KindName returns a human-readable kind label.
@@ -63,6 +69,8 @@ func KindName(k uint8) string {
 		return "AckRequest"
 	case KindAckExhibit:
 		return "AckExhibit"
+	case KindObligationHandover:
+		return "ObligationHandover"
 	default:
 		return fmt.Sprintf("Kind(%d)", k)
 	}
@@ -1005,6 +1013,71 @@ func UnmarshalAckExhibit(b []byte) (*AckExhibit, error) {
 	}
 	m.AckBytes = r.Bytes()
 	m.Accused = r.Bool()
+	m.Sig = r.Bytes()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ObligationHandover transfers an outgoing monitor's accumulated
+// round-`Round` obligation for `Monitored` to a monitor that takes over at
+// round Round+1. The obligation is a product of lifted hashes the monitors
+// of Monitored already jointly compute (§V-B), so the transfer leaks
+// nothing new; the signature pins it to the outgoing monitor, and the
+// incoming monitors take a majority over the copies they receive.
+type ObligationHandover struct {
+	Round     model.Round  // the round the obligation accumulates
+	From      model.NodeID // outgoing monitor
+	Monitored model.NodeID
+	// Obligation is the encoded accumulated hash product.
+	Obligation []byte
+	// Suspect marks an obligation the digest cross-check proved
+	// incomplete — not usable as a conviction baseline.
+	Suspect bool
+	Sig     []byte
+}
+
+// Kind implements Message.
+func (m *ObligationHandover) Kind() uint8 { return KindObligationHandover }
+
+func (m *ObligationHandover) body(w *Writer) {
+	w.U8(KindObligationHandover)
+	w.U64(uint64(m.Round))
+	w.U32(uint32(m.From))
+	w.U32(uint32(m.Monitored))
+	w.Bytes(m.Obligation)
+	w.Bool(m.Suspect)
+}
+
+// SigningBytes implements Message.
+func (m *ObligationHandover) SigningBytes() []byte {
+	w := NewWriter()
+	m.body(w)
+	return w.Finish()
+}
+
+// Marshal implements Message.
+func (m *ObligationHandover) Marshal() []byte {
+	w := NewWriter()
+	m.body(w)
+	w.Bytes(m.Sig)
+	return w.Finish()
+}
+
+// UnmarshalObligationHandover decodes an ObligationHandover.
+func UnmarshalObligationHandover(b []byte) (*ObligationHandover, error) {
+	r := NewReader(b)
+	if k := r.U8(); k != KindObligationHandover && r.Err() == nil {
+		return nil, fmt.Errorf("wire: kind %d is not ObligationHandover", k)
+	}
+	m := &ObligationHandover{
+		Round:     model.Round(r.U64()),
+		From:      model.NodeID(r.U32()),
+		Monitored: model.NodeID(r.U32()),
+	}
+	m.Obligation = r.Bytes()
+	m.Suspect = r.Bool()
 	m.Sig = r.Bytes()
 	if err := r.Done(); err != nil {
 		return nil, err

@@ -15,6 +15,7 @@ func TestKindNames(t *testing.T) {
 		KindAck, KindAckCopy, KindAttForward, KindHashShare,
 		KindAckForward, KindNodeDigest, KindAccusation, KindProbe,
 		KindConfirm, KindNack, KindAckRequest, KindAckExhibit,
+		KindObligationHandover,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {
@@ -266,6 +267,24 @@ func TestNackRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(m, got) {
 		t.Fatal("mismatch")
+	}
+}
+
+func TestObligationHandoverRoundTrip(t *testing.T) {
+	for _, m := range []*ObligationHandover{
+		{Round: 7, From: 9, Monitored: 2, Obligation: []byte("ob"), Sig: []byte("s")},
+		{Round: 8, From: 3, Monitored: 5, Obligation: []byte{1}, Suspect: true, Sig: []byte("s")},
+	} {
+		got, err := UnmarshalObligationHandover(m.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("mismatch: %+v vs %+v", m, got)
+		}
+	}
+	if _, err := UnmarshalObligationHandover([]byte{KindNack, 0}); err == nil {
+		t.Fatal("wrong kind accepted")
 	}
 }
 

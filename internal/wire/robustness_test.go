@@ -21,6 +21,9 @@ var decoders = map[string]func([]byte) (any, error){
 	"Nack":        func(b []byte) (any, error) { return UnmarshalNack(b) },
 	"AckRequest":  func(b []byte) (any, error) { return UnmarshalAckRequest(b) },
 	"AckExhibit":  func(b []byte) (any, error) { return UnmarshalAckExhibit(b) },
+	"ObligationHandover": func(b []byte) (any, error) {
+		return UnmarshalObligationHandover(b)
+	},
 }
 
 // TestDecodersSurviveRandomBytes throws random garbage at every decoder:

@@ -22,12 +22,12 @@ package pag
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/acting"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/hhash"
+	"repro/internal/judicial"
 	"repro/internal/membership"
 	"repro/internal/model"
 	"repro/internal/pki"
@@ -107,6 +107,22 @@ type SessionConfig struct {
 	TTL model.Round
 	// Seed drives the membership assignment.
 	Seed uint64
+	// MonitorRotationRounds re-draws every monitor set after this many
+	// rounds (0 keeps monitors static, the paper's setting). Rotation
+	// bounds how long one monitor watches one node; the rotation-round
+	// forwarding-check gap it used to open is closed by the obligation
+	// handover (see internal/core).
+	MonitorRotationRounds int
+	// DisableObligationHandover turns the monitor-rotation obligation
+	// handover off — the pre-handover protocol, kept as an ablation so
+	// the rotation-gap exploit stays demonstrable in tests.
+	DisableObligationHandover bool
+	// Judicial arms the accountability plane's punishment loop: nodes
+	// reaching the conviction threshold are evicted from the membership
+	// and quarantined. The zero value is reporting-only. A scenario with
+	// an Eviction block arms the loop too; an explicitly set Judicial
+	// wins.
+	Judicial judicial.Policy
 	// PAGBehaviors / ActingBehaviors / RACBehaviors inject selfish
 	// deviations per node for the respective protocol.
 	PAGBehaviors    map[model.NodeID]core.Behavior
@@ -193,11 +209,16 @@ type Session struct {
 	engineKind    string
 	engineWorkers int
 
-	// verdictMu serialises verdict-sink appends: under the parallel
-	// engine, nodes raise verdicts from worker goroutines. Reports only
-	// aggregate verdicts by accused and round, so append order never
-	// reaches an output.
-	verdictMu sync.Mutex
+	// registry is the accountability plane's unified verdict pipeline:
+	// every protocol's verdict sink submits into it (it is safe for the
+	// parallel engine's worker goroutines), duplicates collapse by
+	// (accused, accuser, round, kind), and every consumer — views,
+	// conviction tallies, per-epoch metrics — reads the deduplicated
+	// fact set in canonical order, so nothing depends on append order.
+	registry *judicial.Registry
+	// bench turns registry tallies into eviction judgments when the
+	// configured policy is armed.
+	bench *judicial.Bench
 
 	// suite / params / dir are kept for mid-run node construction
 	// (scenario joins mint fresh identities against the same PKI and
@@ -222,11 +243,12 @@ type Session struct {
 	departed    map[model.NodeID]model.Round
 	epochMarks  []epochMark
 
-	// PAGVerdicts / ActingVerdicts / RACVerdicts collect the proofs of
-	// misbehaviour raised during the run.
-	PAGVerdicts    []core.Verdict
-	ActingVerdicts []acting.Verdict
-	RACVerdicts    []rac.Verdict
+	// evicted marks ids the punishment loop expelled; unlike other
+	// departures they may re-join under the same id once their
+	// quarantine expires.
+	evicted          map[model.NodeID]bool
+	evictions        []Eviction
+	rejoinRejections []RejoinRejection
 }
 
 // SourceID is the session's source node.
@@ -252,9 +274,20 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 			_ = netw.Close()
 		}
 	}()
+	// The punishment loop's policy: an explicit Judicial wins, otherwise
+	// a scenario's scripted Eviction block arms it.
+	policy := c.Judicial
+	if !policy.Enabled() && c.Scenario != nil && c.Scenario.Eviction != nil {
+		policy = judicial.Policy{
+			ConvictionThreshold: c.Scenario.Eviction.ConvictionThreshold,
+			QuarantineRounds:    c.Scenario.Eviction.QuarantineRounds,
+		}
+	}
 	s := &Session{
 		cfg:         c,
 		net:         netw,
+		registry:    judicial.NewRegistry(),
+		bench:       judicial.NewBench(policy),
 		pagNodes:    make(map[model.NodeID]*core.Node),
 		actingNodes: make(map[model.NodeID]*acting.Node),
 		racNodes:    make(map[model.NodeID]*rac.Node),
@@ -262,6 +295,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		nextID:      model.NodeID(c.Nodes + 1),
 		joinedChunk: make(map[model.NodeID]uint64),
 		departed:    make(map[model.NodeID]model.Round),
+		evicted:     make(map[model.NodeID]bool),
 	}
 	// A transport that delivers on its own goroutines (a direct-mode
 	// TCPNet) would run handlers concurrently with node steps — AcTinG
@@ -290,9 +324,10 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		ids[i] = model.NodeID(i + 1)
 	}
 	dir, err := membership.New(ids, membership.Config{
-		Seed:     c.Seed,
-		Fanout:   c.Fanout,
-		Monitors: c.Monitors,
+		Seed:                  c.Seed,
+		Fanout:                c.Fanout,
+		Monitors:              c.Monitors,
+		MonitorRotationRounds: c.MonitorRotationRounds,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pag: membership: %w", err)
@@ -367,7 +402,14 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	}
 	s.epochMarks = []epochMark{{start: 1}}
 
-	// The scenario hook registers first so churn and faults land before
+	// The punishment loop runs first at every round top: it judges the
+	// evidence of completed rounds, so its evictions land before the
+	// scenario's churn (a scripted re-join of a just-evicted id must see
+	// the quarantine) and before the source injects.
+	if s.bench.Policy().Enabled() {
+		s.engine.OnRoundStart(func(r model.Round) { s.applyJudgments(r) })
+	}
+	// The scenario hook registers next so churn and faults land before
 	// the source injects the round's chunks.
 	if c.Scenario != nil {
 		tl, err := scenario.Compile(*c.Scenario)
@@ -484,29 +526,16 @@ func (s *Session) dueThrough(r model.Round) uint64 {
 	return (uint64(r) - ttl) * uint64(s.source.PerRound())
 }
 
-// ConvictedNodes returns the nodes accused by at least threshold verdicts,
-// with their counts — the punishment hook of §II-B ("the monitors generate
-// a proof of misbehaviour and the misbehaving nodes get punished"): the
-// paper leaves the punishment itself to the deployment (eviction from the
-// membership, service denial, ...), so the facade surfaces the evidence.
+// ConvictedNodes returns the nodes accused by at least threshold distinct
+// verdicts, with their counts — the punishment hook of §II-B ("the
+// monitors generate a proof of misbehaviour and the misbehaving nodes get
+// punished"). Counts are deduplicated facts: identical verdicts (same
+// accused, accuser, round and kind) reported several times — monitor
+// retries, re-raised findings — count once. Arm SessionConfig.Judicial
+// (or a scenario Eviction block) to turn these tallies into actual
+// evictions instead of just surfacing the evidence.
 func (s *Session) ConvictedNodes(threshold int) map[model.NodeID]int {
-	counts := make(map[model.NodeID]int)
-	for _, v := range s.PAGVerdicts {
-		counts[v.Accused]++
-	}
-	for _, v := range s.ActingVerdicts {
-		counts[v.Accused]++
-	}
-	for _, v := range s.RACVerdicts {
-		counts[v.Accused]++
-	}
-	out := make(map[model.NodeID]int)
-	for id, c := range counts {
-		if c >= threshold {
-			out[id] = c
-		}
-	}
-	return out
+	return s.registry.Convicted(threshold)
 }
 
 // PAGNodeStats returns the per-node PAG counters (Table I inputs).

@@ -52,8 +52,13 @@ type ProtocolRun struct {
 	// Epochs slices the run by membership epoch.
 	Epochs []EpochStat `json:"epochs"`
 	// Convictions lists nodes with at least the conviction threshold of
-	// verdicts, ascending by node id.
+	// deduplicated verdicts, ascending by node id.
 	Convictions []Conviction `json:"convictions"`
+	// Evictions is the punishment loop's judgment log (empty unless the
+	// scenario's eviction policy — or SessionConfig.Judicial — is armed).
+	Evictions []Eviction `json:"evictions"`
+	// RejoinRejections lists the Join attempts bounced by quarantines.
+	RejoinRejections []RejoinRejection `json:"rejoin_rejections"`
 	// Journal is the applied-event log (what the timeline actually did).
 	Journal []scenario.Applied `json:"journal"`
 }
@@ -134,6 +139,8 @@ func RunScenarioReport(base SessionConfig, sc scenario.Scenario,
 			MessagesDropped:   dropped,
 			Epochs:            epochs,
 			Convictions:       []Conviction{},
+			Evictions:         s.Evictions(),
+			RejoinRejections:  s.RejoinRejections(),
 			Journal:           s.ScenarioJournal(),
 		}
 		convicted := s.ConvictedNodes(convictionThreshold)

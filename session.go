@@ -6,6 +6,7 @@ import (
 	"repro/internal/acting"
 	"repro/internal/core"
 	"repro/internal/hhash"
+	"repro/internal/judicial"
 	"repro/internal/membership"
 	"repro/internal/model"
 	"repro/internal/pki"
@@ -16,28 +17,51 @@ import (
 
 // This file wires the three protocol node types into a Session.
 
-// addPAGVerdict / addActingVerdict / addRACVerdict are the nodes' verdict
-// sinks. Under the parallel engine they are hit from worker goroutines
-// concurrently, so appends are serialised; every consumer aggregates
-// verdicts by accused/round, never by append order, which keeps reports
-// byte-identical at any worker count.
+// The nodes' verdict sinks all submit into the judicial registry — the
+// accountability plane's single pipeline. The registry is safe for the
+// parallel engine's worker goroutines, dedupes repeated reports of the
+// same fact, and serves every consumer in canonical order, which keeps
+// reports byte-identical at any worker count.
 
-func (s *Session) addPAGVerdict(v core.Verdict) {
-	s.verdictMu.Lock()
-	s.PAGVerdicts = append(s.PAGVerdicts, v)
-	s.verdictMu.Unlock()
+// Judicial exposes the session's verdict registry — the deduplicated
+// evidence every conviction tally is computed from.
+func (s *Session) Judicial() *judicial.Registry { return s.registry }
+
+// PAGVerdicts returns the deduplicated PAG proofs of misbehaviour in
+// canonical (round, accused, accuser, kind) order — a view over the
+// judicial registry.
+func (s *Session) PAGVerdicts() []core.Verdict {
+	var out []core.Verdict
+	for _, rec := range s.registry.Records() {
+		if v, ok := rec.Evidence.(core.Verdict); ok {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
-func (s *Session) addActingVerdict(v acting.Verdict) {
-	s.verdictMu.Lock()
-	s.ActingVerdicts = append(s.ActingVerdicts, v)
-	s.verdictMu.Unlock()
+// ActingVerdicts returns the deduplicated AcTinG audit findings in
+// canonical order — a view over the judicial registry.
+func (s *Session) ActingVerdicts() []acting.Verdict {
+	var out []acting.Verdict
+	for _, rec := range s.registry.Records() {
+		if v, ok := rec.Evidence.(acting.Verdict); ok {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
-func (s *Session) addRACVerdict(v rac.Verdict) {
-	s.verdictMu.Lock()
-	s.RACVerdicts = append(s.RACVerdicts, v)
-	s.verdictMu.Unlock()
+// RACVerdicts returns the deduplicated RAC accountability findings in
+// canonical order — a view over the judicial registry.
+func (s *Session) RACVerdicts() []rac.Verdict {
+	var out []rac.Verdict
+	for _, rec := range s.registry.Records() {
+		if v, ok := rec.Evidence.(rac.Verdict); ok {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func (s *Session) buildPAGNode(id model.NodeID, suite pki.Suite, identity pki.Identity,
@@ -48,19 +72,20 @@ func (s *Session) buildPAGNode(id model.NodeID, suite pki.Suite, identity pki.Id
 		return nil, fmt.Errorf("pag: registering %v: %w", id, err)
 	}
 	node, err = core.NewNode(core.Config{
-		ID:              id,
-		Suite:           suite,
-		Identity:        identity,
-		HashParams:      params,
-		Directory:       dir,
-		Endpoint:        ep,
-		Sources:         []model.NodeID{SourceID},
-		IsSource:        id == SourceID,
-		PrimeBits:       s.cfg.PrimeBits,
-		BuffermapWindow: s.cfg.BuffermapWindow,
-		Behavior:        s.cfg.PAGBehaviors[id],
-		Verdicts:        func(v core.Verdict) { s.addPAGVerdict(v) },
-		OnDeliver:       player.OnDeliver,
+		ID:                   id,
+		Suite:                suite,
+		Identity:             identity,
+		HashParams:           params,
+		Directory:            dir,
+		Endpoint:             ep,
+		Sources:              []model.NodeID{SourceID},
+		IsSource:             id == SourceID,
+		PrimeBits:            s.cfg.PrimeBits,
+		BuffermapWindow:      s.cfg.BuffermapWindow,
+		Behavior:             s.cfg.PAGBehaviors[id],
+		NoObligationHandover: s.cfg.DisableObligationHandover,
+		Verdicts:             func(v core.Verdict) { s.registry.Submit(v) },
+		OnDeliver:            player.OnDeliver,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pag: node %v: %w", id, err)
@@ -84,7 +109,7 @@ func (s *Session) buildActingNode(id model.NodeID, suite pki.Suite, identity pki
 		Sources:     []model.NodeID{SourceID},
 		AuditPeriod: s.cfg.AuditPeriod,
 		Behavior:    s.cfg.ActingBehaviors[id],
-		Verdicts:    func(v acting.Verdict) { s.addActingVerdict(v) },
+		Verdicts:    func(v acting.Verdict) { s.registry.Submit(v) },
 		OnDeliver:   player.OnDeliver,
 	})
 	if err != nil {
@@ -109,7 +134,7 @@ func (s *Session) buildRACNode(id model.NodeID, suite pki.Suite, identity pki.Id
 		Sources:   []model.NodeID{SourceID},
 		SlotBytes: s.cfg.UpdateBytes,
 		Behavior:  s.cfg.RACBehaviors[id],
-		Verdicts:  func(v rac.Verdict) { s.addRACVerdict(v) },
+		Verdicts:  func(v rac.Verdict) { s.registry.Submit(v) },
 		OnDeliver: player.OnDeliver,
 	})
 	if err != nil {

@@ -50,8 +50,10 @@ func TestConvictedNodesThresholdBoundaries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.PAGVerdicts = []core.Verdict{
+	for _, v := range []core.Verdict{
 		{Round: 1, Accused: 4}, {Round: 2, Accused: 4}, {Round: 3, Accused: 5},
+	} {
+		s.Judicial().Submit(v)
 	}
 	if got := s.ConvictedNodes(0); len(got) != 2 {
 		t.Fatalf("threshold 0: %v", got)
@@ -72,9 +74,10 @@ func TestConvictedNodesMixedProtocolLists(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.PAGVerdicts = []core.Verdict{{Round: 1, Accused: 7}}
-	s.ActingVerdicts = []acting.Verdict{{Round: 2, Accused: 7}, {Round: 2, Accused: 8}}
-	s.RACVerdicts = []rac.Verdict{{Round: 3, Accused: 7}}
+	s.Judicial().Submit(core.Verdict{Round: 1, Accused: 7})
+	s.Judicial().Submit(acting.Verdict{Round: 2, Accused: 7})
+	s.Judicial().Submit(acting.Verdict{Round: 2, Accused: 8})
+	s.Judicial().Submit(rac.Verdict{Round: 3, Accused: 7})
 	got := s.ConvictedNodes(3)
 	if len(got) != 1 || got[7] != 3 {
 		t.Fatalf("mixed lists: %v, want node 7 with 3 verdicts", got)

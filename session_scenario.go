@@ -1,11 +1,13 @@
 package pag
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/acting"
 	"repro/internal/core"
+	"repro/internal/membership"
 	"repro/internal/model"
 	"repro/internal/rac"
 	"repro/internal/scenario"
@@ -49,12 +51,23 @@ func (s *Session) bumpEpoch(r model.Round) {
 // Join implements scenario.Applier: it mints an identity for the new
 // member (a fresh session-assigned id when id is NoNode), attaches a node
 // of the session's protocol, and opens a membership epoch at round r.
+//
+// An id the punishment loop evicted may re-join — with a fresh identity,
+// like any joiner — once its quarantine expires; mid-quarantine attempts
+// are rejected (and counted as rejoin rejections). Other past members
+// stay barred for good: their keys left with them, so they re-enter under
+// a fresh id.
 func (s *Session) Join(r model.Round, id model.NodeID) (model.NodeID, error) {
 	if id == model.NoNode {
 		id = s.nextID
 	}
 	if _, was := s.players[id]; was {
-		return model.NoNode, fmt.Errorf("pag: node %v was already a session member (rejoin under a fresh id instead)", id)
+		if !s.evicted[id] {
+			return model.NoNode, fmt.Errorf("pag: node %v was already a session member (rejoin under a fresh id instead)", id)
+		}
+		if _, gone := s.departed[id]; !gone {
+			return model.NoNode, fmt.Errorf("pag: node %v is already a member", id)
+		}
 	}
 	identity, err := s.suite.NewIdentity(id)
 	if err != nil {
@@ -63,9 +76,20 @@ func (s *Session) Join(r model.Round, id model.NodeID) (model.NodeID, error) {
 	player := streaming.NewPlayer(0)
 
 	// Membership first: node construction reads the directory (RAC seats
-	// itself on the ring of current members). Rolled back on failure.
+	// itself on the ring of current members), and the directory owns the
+	// quarantine verdict on evicted ids. Rolled back on failure.
 	if err := s.dir.Join(id, r); err != nil {
+		var q *membership.QuarantineError
+		if errors.As(err, &q) {
+			s.rejoinRejections = append(s.rejoinRejections,
+				RejoinRejection{Round: r, Node: id, Until: q.Until})
+		}
 		return model.NoNode, fmt.Errorf("pag: joining %v: %w", id, err)
+	}
+	// A re-admitted evictee comes back from the dead: lift the fault
+	// plane's down flag its eviction set, so traffic reaches it again.
+	if s.evicted[id] {
+		s.net.Faults().SetNodeDown(id, false)
 	}
 	rollback := func(err error) (model.NodeID, error) {
 		_ = s.dir.DropLastEpoch()
@@ -97,6 +121,11 @@ func (s *Session) Join(r model.Round, id model.NodeID) (model.NodeID, error) {
 	}
 	s.players[id] = player
 	s.joinedChunk[id] = s.source.Emitted()
+	// A re-admitted evictee is live again — and its one-time re-join
+	// credential is spent: if it departs again without a fresh eviction,
+	// it is barred for good like any other past member.
+	delete(s.departed, id)
+	delete(s.evicted, id)
 	if id >= s.nextID {
 		s.nextID = id + 1
 	}
@@ -211,7 +240,9 @@ func (s *Session) SetBehavior(id model.NodeID, profile scenario.BehaviorProfile)
 		switch profile {
 		case scenario.ProfileCorrect:
 			n.SetBehavior(acting.Behavior{})
-		case scenario.ProfileFreeRider:
+		case scenario.ProfileFreeRider, scenario.ProfileRotationDodger:
+			// AcTinG has no monitor rotation; the dodger degenerates to
+			// the plain free-rider.
 			n.SetBehavior(acting.Behavior{SkipPropose: true})
 		case scenario.ProfileColluder:
 			n.SetBehavior(acting.Behavior{RefuseAudit: true})
@@ -226,7 +257,9 @@ func (s *Session) SetBehavior(id model.NodeID, profile scenario.BehaviorProfile)
 		switch profile {
 		case scenario.ProfileCorrect:
 			n.SetBehavior(rac.Behavior{})
-		case scenario.ProfileFreeRider:
+		case scenario.ProfileFreeRider, scenario.ProfileRotationDodger:
+			// RAC has no monitor rotation; the dodger degenerates to the
+			// plain free-rider.
 			n.SetBehavior(rac.Behavior{DropRelays: true})
 		case scenario.ProfileColluder:
 			n.SetBehavior(rac.Behavior{NoCover: true})
@@ -288,9 +321,17 @@ type EpochStat struct {
 	// MeanBandwidthKbps is the per-client bandwidth averaged over the
 	// epoch (mean of upload and download, as in Fig 7).
 	MeanBandwidthKbps float64 `json:"mean_bandwidth_kbps"`
-	// Verdicts counts the proofs of misbehaviour raised during the
-	// epoch, across all protocols in the session.
+	// Verdicts counts the deduplicated proofs of misbehaviour raised
+	// during the epoch, across all protocols in the session.
 	Verdicts int `json:"verdicts"`
+	// Convictions counts judgments the punishment loop pronounced during
+	// the epoch; Evictions the ones that actually removed a member (a
+	// membership at minimum size cannot shrink), and RejoinRejections the
+	// Join attempts bounced by active quarantines. All zero without an
+	// armed eviction policy.
+	Convictions      int `json:"convictions"`
+	Evictions        int `json:"evictions"`
+	RejoinRejections int `json:"rejoin_rejections"`
 }
 
 // EpochStats slices the run into its membership epochs and reports
@@ -358,10 +399,20 @@ func (s *Session) EpochStats() []EpochStat {
 			st.MeanBandwidthKbps = bytes * 8 / 1000 / seconds / float64(clients)
 		}
 
-		// Verdicts raised while the epoch was current.
-		for _, r := range verdictRounds {
-			if r >= mark.start && r <= end {
-				st.Verdicts++
+		// Verdicts raised while the epoch was current, and the
+		// punishment loop's activity in the same window.
+		st.Verdicts = countInWindow(verdictRounds, mark.start, end)
+		for _, ev := range s.evictions {
+			if ev.Round >= mark.start && ev.Round <= end {
+				st.Convictions++
+				if ev.Err == "" {
+					st.Evictions++
+				}
+			}
+		}
+		for _, rj := range s.rejoinRejections {
+			if rj.Round >= mark.start && rj.Round <= end {
+				st.RejoinRejections++
 			}
 		}
 		out = append(out, st)
@@ -369,20 +420,9 @@ func (s *Session) EpochStats() []EpochStat {
 	return out
 }
 
-// verdictRounds flattens the per-protocol verdict lists into their rounds.
+// verdictRounds returns the rounds of the registry's deduplicated facts.
 func (s *Session) verdictRounds() []model.Round {
-	out := make([]model.Round, 0,
-		len(s.PAGVerdicts)+len(s.ActingVerdicts)+len(s.RACVerdicts))
-	for _, v := range s.PAGVerdicts {
-		out = append(out, v.Round)
-	}
-	for _, v := range s.ActingVerdicts {
-		out = append(out, v.Round)
-	}
-	for _, v := range s.RACVerdicts {
-		out = append(out, v.Round)
-	}
-	return out
+	return s.registry.Rounds()
 }
 
 // ContinuityInWindow returns one node's delivery ratio for the chunks
@@ -404,27 +444,11 @@ func (s *Session) ContinuityInWindow(id model.NodeID, from, to model.Round) floa
 	return float64(p.DeliveredInRange(lo, hi)) / float64(hi-lo)
 }
 
-// VerdictsAgainst counts, per accused node, the verdicts raised in rounds
-// [from, to] across all protocols — the windowed form of ConvictedNodes
-// used to attribute convictions to scenario phases.
+// VerdictsAgainst counts, per accused node, the deduplicated verdicts
+// raised in rounds [from, to] across all protocols — the windowed form of
+// ConvictedNodes used to attribute convictions to scenario phases.
 func (s *Session) VerdictsAgainst(from, to model.Round) map[model.NodeID]int {
-	out := make(map[model.NodeID]int)
-	for _, v := range s.PAGVerdicts {
-		if v.Round >= from && v.Round <= to {
-			out[v.Accused]++
-		}
-	}
-	for _, v := range s.ActingVerdicts {
-		if v.Round >= from && v.Round <= to {
-			out[v.Accused]++
-		}
-	}
-	for _, v := range s.RACVerdicts {
-		if v.Round >= from && v.Round <= to {
-			out[v.Accused]++
-		}
-	}
-	return out
+	return s.registry.CountsInWindow(from, to)
 }
 
 // sortedIDs returns the map's keys in ascending order (deterministic

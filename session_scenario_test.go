@@ -47,8 +47,8 @@ func TestFlashCrowdJoinsOpenEpochs(t *testing.T) {
 		}
 	}
 	// Accountability must not misfire on churn: everyone is honest.
-	if len(s.PAGVerdicts) != 0 {
-		t.Fatalf("honest flash-crowd run raised verdicts: %v", s.PAGVerdicts)
+	if len(s.PAGVerdicts()) != 0 {
+		t.Fatalf("honest flash-crowd run raised verdicts: %v", s.PAGVerdicts())
 	}
 	if c := s.MeanContinuity(); c < 0.9 {
 		t.Fatalf("mean continuity %v after the flash crowd", c)
@@ -80,8 +80,8 @@ func TestLeaveRedrawsMembership(t *testing.T) {
 	if len(epochs) != 2 || epochs[1].StartRound != 7 {
 		t.Fatalf("epochs = %+v", epochs)
 	}
-	if len(s.PAGVerdicts) != 0 {
-		t.Fatalf("graceful leave raised verdicts: %v", s.PAGVerdicts)
+	if len(s.PAGVerdicts()) != 0 {
+		t.Fatalf("graceful leave raised verdicts: %v", s.PAGVerdicts())
 	}
 	if c := s.MeanContinuity(); c < 0.9 {
 		t.Fatalf("mean continuity %v after the leave", c)
@@ -219,18 +219,19 @@ func TestCrashLingerConvictsThenRemoves(t *testing.T) {
 	}
 	// The dead node's monitoring duties break the report chain for the
 	// exchanges it was designated monitor of, so honest live nodes
-	// collect transient UnreportedExchange noise during the linger —
-	// bounded by ~fanout per affected exchange per linger round — but
-	// never WrongForward (the suspect-baseline guard), and never enough
-	// to cross a linger-scaled punishment threshold, which a persistent
-	// deviator (fanout² verdicts per round, forever) sails past.
-	for _, v := range s.PAGVerdicts {
+	// collect transient noise during the linger — after registry dedupe,
+	// at most a few facts per (accuser, round, kind) — but never
+	// WrongForward (the suspect-baseline guard), and never enough to
+	// cross a linger-scaled punishment threshold, which the crashed node
+	// (every monitor × every violated obligation kind × every linger
+	// round) sails past.
+	for _, v := range s.PAGVerdicts() {
 		if v.Accused != victim && v.Kind == core.VerdictWrongForward {
 			t.Errorf("honest live node framed for wrong forwarding: %v", v)
 		}
 	}
 	const linger = 3
-	threshold := 2 * s.Config().Fanout * (linger + 2)
+	threshold := 2 * s.Config().Fanout * linger
 	for id, n := range s.VerdictsAgainst(1, 16) {
 		if id != victim && n >= threshold {
 			t.Errorf("honest live node %v crossed the conviction threshold with %d verdicts", id, n)
