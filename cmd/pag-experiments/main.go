@@ -6,11 +6,14 @@
 //	pag-experiments -exp all
 //	pag-experiments -exp fig7 -nodes 432 -stream 300
 //	pag-experiments -exp table2
+//	pag-experiments -exp cliff
 //	pag-experiments -exp fig10
 //	pag-experiments -exp proverif
 //
-// Experiments: fig7, fig8, fig9, fig10, table1, table2, churn, proverif,
-// all.
+// Experiments: fig7, fig8, fig9, fig10, table1, table2, churn, cliff,
+// proverif, all. table2 appends a measured continuity sweep (the queued
+// link model under the capacity-cliff scenario) to the paper's analytic
+// table; cliff is the full measured sweep across protocols.
 // -quick shrinks system sizes and rates for a fast pass.
 package main
 
@@ -29,7 +32,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: fig7|fig8|fig9|fig10|table1|table2|churn|proverif|all")
+		exp     = flag.String("exp", "all", "experiment id: fig7|fig8|fig9|fig10|table1|table2|churn|cliff|proverif|all")
 		nodes   = flag.Int("nodes", 0, "simulated system size (default 48; paper deployment used 432)")
 		stream  = flag.Int("stream", 0, "stream bitrate in kbps (default 300)")
 		rounds  = flag.Int("rounds", 0, "measured rounds (default 20)")
@@ -59,6 +62,7 @@ func run() int {
 		"table1":   experiments.Table1,
 		"table2":   experiments.Table2,
 		"churn":    experiments.ChurnStudy,
+		"cliff":    experiments.Cliff,
 		"proverif": experiments.ProVerif,
 	}
 

@@ -108,7 +108,7 @@ func run() int {
 		// joiner counts) to the *founding* membership — those are the
 		// ids that exist as members when the timeline fires; the rest of
 		// the roster is standby capacity for its join events.
-		loaded, err := loadScenario(*scFlag, founding, *seed)
+		loaded, err := loadScenario(*scFlag, founding, *stream, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pag-node:", err)
 			return 1
@@ -130,7 +130,7 @@ func run() int {
 // canned name sized for the roster. Canned timelines take the shared seed
 // (identical flags ⇒ identical timelines in every process); a file keeps
 // its own seed, like pag-scenario.
-func loadScenario(nameOrPath string, rosterSize int, seed uint64) (scenario.Scenario, error) {
+func loadScenario(nameOrPath string, rosterSize, streamKbps int, seed uint64) (scenario.Scenario, error) {
 	data, err := os.ReadFile(nameOrPath)
 	switch {
 	case err == nil:
@@ -141,7 +141,7 @@ func loadScenario(nameOrPath string, rosterSize int, seed uint64) (scenario.Scen
 		// different scripts).
 		return scenario.Scenario{}, err
 	}
-	sc, err := scenario.ByName(nameOrPath, rosterSize)
+	sc, err := scenario.ByName(nameOrPath, rosterSize, streamKbps)
 	if err != nil {
 		return scenario.Scenario{}, fmt.Errorf("scenario %q is neither a file nor a canned name: %w", nameOrPath, err)
 	}
@@ -190,6 +190,12 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 	}
 
 	net := transport.NewTCPNet(book)
+	// The link queues' expiry deadline follows the deployment's playout
+	// window — the TTL its source streams with (NewSource defaults to
+	// model.PlayoutDelayRounds) — mirroring how a simulated session pins
+	// the deadline to its own TTL. Scripted set_queue_cap events may
+	// retune it mid-run.
+	net.Faults().SetQueueDeadline(model.PlayoutDelayRounds)
 	defer func() { _ = net.Close() }()
 
 	d := &deployment{
@@ -276,8 +282,8 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 				failed++
 			}
 		}
-		fmt.Printf("[%v] scenario journal: %d events (%d failed), dropped %d on the wire (%d by caps)\n",
-			self, applied, failed, net.Dropped(), net.CapDrops())
+		fmt.Printf("[%v] scenario journal: %d events (%d failed), dropped %d on the wire (%d deferred by caps, %d expired queued)\n",
+			self, applied, failed, net.Dropped(), net.Deferred(), net.CapExpired())
 	}
 	if d.node != nil {
 		st := d.node.Stats()
@@ -468,8 +474,21 @@ func (d *deployment) Heal() { d.net.Faults().Heal() }
 
 // SetUploadCap implements scenario.Applier (kbps; the fault plane owns
 // the conversion, so the deployment and the simulated session agree).
+// Caps are the queued link model: over-budget frames wait at the NIC and
+// the per-round BeginRound drain writes them out as budget allows.
 func (d *deployment) SetUploadCap(id model.NodeID, kbps int) {
 	d.net.Faults().SetUploadCapKbps(id, kbps)
+}
+
+// SetQueueCap implements scenario.Applier: the link-model cap with an
+// optional queue-deadline retune (negative disables expiry, 0 keeps the
+// current deadline). A multi-process deployment has no epoch report to
+// slice, so only the fault plane is touched.
+func (d *deployment) SetQueueCap(id model.NodeID, kbps, deadlineRounds int) {
+	d.net.Faults().SetUploadCapKbps(id, kbps)
+	if deadlineRounds != 0 {
+		d.net.Faults().SetQueueDeadline(deadlineRounds)
+	}
 }
 
 // SetBehavior implements scenario.Applier: the target and profile are

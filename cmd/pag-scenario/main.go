@@ -13,11 +13,20 @@
 //	pag-scenario -list
 //
 // Canned scenarios: flash-crowd, steady-churn, transient-partition,
-// delayed-coalition, rejoin-attack. A scenario file is the same JSON the
-// -dump flag prints; an "eviction" block in the script arms the
-// accountability plane's punishment loop (convictions → membership
-// eviction → id quarantine), and the report then carries the eviction
-// and rejoin-rejection logs per protocol and per epoch.
+// delayed-coalition, rejoin-attack, capacity-cliff. A scenario file is
+// the same JSON the -dump flag prints; an "eviction" block in the script
+// arms the accountability plane's punishment loop (convictions →
+// membership eviction → id quarantine), and the report then carries the
+// eviction and rejoin-rejection logs per protocol and per epoch.
+//
+// Upload caps ("set_upload_cap"/"set_queue_cap" events) are a queued link
+// model: over-budget messages carry over to later rounds, paced by the
+// cap, and expire past the playout deadline. The report separates the
+// resulting queue pressure (messages_deferred, messages_expired, and the
+// per-epoch deferred/expired/queue_depth fields) from loss drops
+// (messages_dropped); capacity-cliff sweeps a population-wide cap toward
+// the stream rate — caps sized as multiples of the default -stream 60 —
+// and slices one measurement epoch per capacity level.
 //
 // -net selects the transport: "mem" (default) runs the deterministic
 // in-memory network — byte-identical reports under a seed — while "tcp"
@@ -67,20 +76,22 @@ func run() int {
 
 	if *list {
 		for _, n := range scenario.Names() {
-			sc, _ := scenario.ByName(n, *nodes)
+			sc, _ := scenario.ByName(n, *nodes, *stream)
 			fmt.Printf("%-22s %s\n", n, sc.Description)
 		}
 		return 0
 	}
 
-	sc, err := loadScenario(*file, *scName, *nodes)
+	// Canned scenarios are sized from the actual -nodes and -stream flags
+	// (capacity-cliff's caps are multiples of the stream rate — a 60 kbps
+	// sweep against a 300 kbps stream would silently start past the
+	// cliff) and follow the -seed sweep; a scenario file is the script of
+	// record and keeps its own seed.
+	sc, err := loadScenario(*file, *scName, *nodes, *stream)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pag-scenario:", err)
 		return 1
 	}
-	// Canned scenarios follow the -seed sweep (their baked-in seed is
-	// just a placeholder); a scenario file is the script of record and
-	// keeps its own seed.
 	if *file == "" {
 		sc.Seed = *seed
 	}
@@ -139,7 +150,7 @@ func run() int {
 	return 0
 }
 
-func loadScenario(file, name string, nodes int) (scenario.Scenario, error) {
+func loadScenario(file, name string, nodes, streamKbps int) (scenario.Scenario, error) {
 	switch {
 	case file != "":
 		data, err := os.ReadFile(file)
@@ -148,7 +159,7 @@ func loadScenario(file, name string, nodes int) (scenario.Scenario, error) {
 		}
 		return scenario.ParseJSON(data)
 	case name != "":
-		return scenario.ByName(name, nodes)
+		return scenario.ByName(name, nodes, streamKbps)
 	default:
 		return scenario.Scenario{}, fmt.Errorf("pass -name or -file (or -list)")
 	}

@@ -29,7 +29,7 @@ func equivalenceBase(nodes int) SessionConfig {
 // runCanned runs one canned scenario on the given engine configuration.
 func runCanned(t *testing.T, name string, nodes, workers int) ScenarioReport {
 	t.Helper()
-	sc, err := scenario.ByName(name, nodes)
+	sc, err := scenario.ByName(name, nodes, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,8 +43,11 @@ func runCanned(t *testing.T, name string, nodes, workers int) ScenarioReport {
 	return r
 }
 
-// TestEngineEquivalenceAllScenarios: all four canned scenarios,
-// serial vs parallel at 1, 4 and 16 workers, all three protocols.
+// TestEngineEquivalenceAllScenarios: every canned scenario (capacity-cliff
+// and its queued caps included), serial vs parallel at 1, 4 and 16
+// workers, all three protocols. (The pressured-queue determinism case
+// with caps that actually bite lives in bandwidth_cliff_test.go — this
+// base config's 2 kbps stream stays under the cliff caps.)
 func TestEngineEquivalenceAllScenarios(t *testing.T) {
 	const nodes = 10
 	names := scenario.Names()

@@ -72,6 +72,29 @@ func TestTable2Smoke(t *testing.T) {
 	if !strings.Contains(r.Text, "1080p") {
 		t.Fatalf("table2 must reach 1080p:\n%s", r.Text)
 	}
+	// The measured footer: a real capacity sweep, not just the analytic
+	// model.
+	for _, want := range []string{"measured", "x-stream", "deferred", "expired"} {
+		if !strings.Contains(r.Text, want) {
+			t.Fatalf("table2 missing measured-sweep column %q:\n%s", want, r.Text)
+		}
+	}
+}
+
+func TestCliffSmoke(t *testing.T) {
+	r, err := Cliff(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "cliff" || !strings.Contains(r.Text, "cap(kbps)") ||
+		!strings.Contains(r.Text, "warmup") {
+		t.Fatalf("cliff output:\n%s", r.Text)
+	}
+	// The sweep must actually exercise the queue model: at caps near the
+	// stream rate the link defers traffic.
+	if !strings.Contains(r.Text, "deferred") {
+		t.Fatalf("cliff output missing queue columns:\n%s", r.Text)
+	}
 }
 
 func TestProVerifSmoke(t *testing.T) {
@@ -107,8 +130,8 @@ func TestAllRunners(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rs) != 8 {
-		t.Fatalf("%d results, want 8", len(rs))
+	if len(rs) != 9 {
+		t.Fatalf("%d results, want 9", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {

@@ -137,14 +137,63 @@ func RejoinAttack(attacker model.NodeID, at model.Round, threshold, quarantine, 
 	}
 }
 
+// DefaultCliffRatios is CapacityCliff's default cap sweep, as multiples
+// of the stream rate: generous headroom down to parity, bracketing the
+// PAG/AcTinG overhead ratios the paper reports (≈3.5× and ≈1.5× at
+// 300 kbps). Exported so experiment runners can size their round budgets
+// to the sweep's length instead of hardcoding it.
+var DefaultCliffRatios = []float64{8, 4, 2, 1.5, 1}
+
+// CapacityCliff sweeps a population-wide queued upload cap downward
+// toward the stream rate — the in-simulation form of Table II's
+// sustainable-quality question. After `warmup` uncapped rounds, every
+// non-source member's uplink is capped for `phaseRounds` rounds at each
+// multiple in `ratios` (descending) of the `streamKbps` source rate.
+// While the cap comfortably exceeds the protocol's per-node demand the
+// link queue stays empty and continuity holds; as it crosses the
+// protocol's overhead ratio the queue model starts deferring (bytes
+// arrive late) and finally expiring (bytes arrive after their playout
+// window) — the continuity cliff. Each cap change opens a measurement
+// epoch, so the report slices continuity, deferral and expiry per
+// capacity level.
+func CapacityCliff(streamKbps, warmup, phaseRounds int, ratios []float64) Scenario {
+	if len(ratios) == 0 {
+		ratios = DefaultCliffRatios
+	}
+	s := Scenario{
+		Name: "capacity-cliff",
+		Description: fmt.Sprintf(
+			"per-node queued upload caps sweep %gx down to %gx the %d kbps stream rate (%d rounds per level) — the Table II continuity cliff, measured",
+			ratios[0], ratios[len(ratios)-1], streamKbps, phaseRounds),
+		Seed:         1,
+		Rounds:       warmup + phaseRounds*len(ratios),
+		WarmupRounds: warmup,
+	}
+	for i, ratio := range ratios {
+		s.Events = append(s.Events, Event{
+			Round:   model.Round(warmup + i*phaseRounds + 1),
+			Action:  ActionSetQueueCap, // Node omitted: every non-source member
+			CapKbps: int(ratio * float64(streamKbps)),
+		})
+	}
+	return s
+}
+
 // Names lists the canned scenarios ByName serves, in display order.
 func Names() []string {
-	return []string{"flash-crowd", "steady-churn", "transient-partition", "delayed-coalition", "rejoin-attack"}
+	return []string{"flash-crowd", "steady-churn", "transient-partition",
+		"delayed-coalition", "rejoin-attack", "capacity-cliff"}
 }
 
 // ByName returns a canned scenario with defaults sized for a session of
-// `nodes` members (node 1 is the source and node ids 2..nodes exist).
-func ByName(name string, nodes int) (Scenario, error) {
+// `nodes` members (node 1 is the source and node ids 2..nodes exist) and
+// a source rate of streamKbps (<= 0 defaults to 60, cmd/pag-scenario's
+// default) — the rate only matters to capacity-cliff, whose caps are
+// absolute multiples of it.
+func ByName(name string, nodes, streamKbps int) (Scenario, error) {
+	if streamKbps <= 0 {
+		streamKbps = 60
+	}
 	switch name {
 	case "flash-crowd":
 		return FlashCrowd(nodes/2, 11, 30), nil
@@ -159,6 +208,8 @@ func ByName(name string, nodes int) (Scenario, error) {
 		return DelayedCoalition(advs, ProfileFreeRider, 11, 30), nil
 	case "rejoin-attack":
 		return RejoinAttack(model.NodeID(nodes), 3, 6, 14, 30), nil
+	case "capacity-cliff":
+		return CapacityCliff(streamKbps, 4, 6, nil), nil
 	default:
 		return Scenario{}, fmt.Errorf("scenario: unknown canned scenario %q (have %v)", name, Names())
 	}

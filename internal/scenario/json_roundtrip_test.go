@@ -27,7 +27,7 @@ func roundTrip(t *testing.T, s Scenario) {
 
 func TestJSONRoundTripCannedScenarios(t *testing.T) {
 	for _, name := range Names() {
-		s, err := ByName(name, 16)
+		s, err := ByName(name, 16, 60)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,7 +51,7 @@ func randomScenario(rng *model.SplitMix64, i int) Scenario {
 	node := func() model.NodeID { return model.NodeID(2 + rng.Next()%30) }
 	nEvents := int(rng.Next() % 8)
 	for e := 0; e < nEvents; e++ {
-		switch rng.Next() % 9 {
+		switch rng.Next() % 10 {
 		case 0:
 			s.Events = append(s.Events, Event{Round: pick(), Action: ActionJoin})
 		case 1:
@@ -85,6 +85,18 @@ func randomScenario(rng *model.SplitMix64, i int) Scenario {
 			s.Events = append(s.Events, Event{
 				Round: pick(), Action: ActionSetBehavior,
 				Node: node(), Behavior: profiles[rng.Next()%3],
+			})
+		case 9:
+			// set_queue_cap: sometimes population-wide (zero node),
+			// sometimes targeted; deadline_rounds optional.
+			var id model.NodeID
+			if rng.Next()%2 == 0 {
+				id = node()
+			}
+			s.Events = append(s.Events, Event{
+				Round: pick(), Action: ActionSetQueueCap, Node: id,
+				CapKbps:        int(rng.Next() % 2000),
+				DeadlineRounds: int(rng.Next() % 12),
 			})
 		}
 	}

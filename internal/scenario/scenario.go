@@ -53,7 +53,17 @@ const (
 	// ActionHeal removes the partition.
 	ActionHeal Action = "heal"
 	// ActionSetUploadCap caps a node's upload at CapKbps (0 removes).
+	// Caps are the transport's queued link model: over-budget messages
+	// defer to later rounds, paced by the cap, and expire past the queue
+	// deadline.
 	ActionSetUploadCap Action = "set_upload_cap"
+	// ActionSetQueueCap is the link-model form of the upload cap: it caps
+	// Node at CapKbps (zero Node caps every current non-source member —
+	// the whole-population sweeps of the capacity-cliff scenario) and
+	// optionally retunes the queue deadline via DeadlineRounds. Sessions
+	// open a measurement epoch at each firing, so reports slice
+	// continuity and queue pressure per capacity level.
+	ActionSetQueueCap Action = "set_queue_cap"
 	// ActionSetBehavior flips a node's deviation profile.
 	ActionSetBehavior Action = "set_behavior"
 )
@@ -95,8 +105,14 @@ type Event struct {
 	Rate float64 `json:"rate,omitempty"`
 	// Groups lists the partition's explicit groups.
 	Groups [][]model.NodeID `json:"groups,omitempty"`
-	// CapKbps is the upload cap of set_upload_cap.
+	// CapKbps is the upload cap of set_upload_cap / set_queue_cap.
 	CapKbps int `json:"cap_kbps,omitempty"`
+	// DeadlineRounds retunes the link queue's expiry deadline in a
+	// set_queue_cap event: how many rounds a deferred message may wait
+	// before it is dropped as expired (the §V-D playout window). 0 keeps
+	// the session's current deadline; -1 disables expiry — the unbounded
+	// store-and-forward ablation.
+	DeadlineRounds int `json:"deadline_rounds,omitempty"`
 	// Behavior is the profile of set_behavior.
 	Behavior BehaviorProfile `json:"behavior,omitempty"`
 	// LingerRounds delays a crash's membership removal (failure
@@ -264,6 +280,15 @@ func (e Event) validate() error {
 		if e.CapKbps < 0 {
 			return fmt.Errorf("negative upload cap")
 		}
+	case ActionSetQueueCap:
+		// A zero Node is legal here: it caps every current non-source
+		// member (the population-wide capacity sweep).
+		if e.CapKbps < 0 {
+			return fmt.Errorf("negative upload cap")
+		}
+		if e.DeadlineRounds < -1 {
+			return fmt.Errorf("queue deadline %d (want >= 0, or -1 to disable expiry)", e.DeadlineRounds)
+		}
 	case ActionSetBehavior:
 		if e.Node == model.NoNode {
 			return fmt.Errorf("set_behavior needs a node")
@@ -311,6 +336,12 @@ type FaultApplier interface {
 	Partition(groups [][]model.NodeID)
 	Heal()
 	SetUploadCap(id model.NodeID, kbps int)
+	// SetQueueCap caps one node's upload (the transport's queued link
+	// model) and, when deadlineRounds is nonzero, retunes the link
+	// queue's expiry deadline (negative disables expiry; 0 keeps the
+	// current deadline). Implementations should open a measurement epoch
+	// so per-capacity metrics can be sliced.
+	SetQueueCap(id model.NodeID, kbps, deadlineRounds int)
 }
 
 // BehaviorApplier is the adversary half of the scenario surface.
@@ -440,6 +471,22 @@ func (t *Timeline) fire(r model.Round, e Event, a Applier) {
 	case ActionSetUploadCap:
 		a.SetUploadCap(e.Node, e.CapKbps)
 		entry.Detail = fmt.Sprintf("cap=%dkbps", e.CapKbps)
+	case ActionSetQueueCap:
+		if e.Node == model.NoNode {
+			// Population-wide sweep: every current non-source member, in
+			// ascending id order (ChurnTargets excludes the source and
+			// the already-departed).
+			targets := a.ChurnTargets()
+			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+			for _, id := range targets {
+				a.SetQueueCap(id, e.CapKbps, e.DeadlineRounds)
+			}
+			entry.Detail = fmt.Sprintf("cap=%dkbps deadline=%dr nodes=%d",
+				e.CapKbps, e.DeadlineRounds, len(targets))
+		} else {
+			a.SetQueueCap(e.Node, e.CapKbps, e.DeadlineRounds)
+			entry.Detail = fmt.Sprintf("cap=%dkbps deadline=%dr", e.CapKbps, e.DeadlineRounds)
+		}
 	case ActionSetBehavior:
 		err = a.SetBehavior(e.Node, e.Behavior)
 		entry.Detail = string(e.Behavior)

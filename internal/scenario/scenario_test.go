@@ -74,6 +74,9 @@ func (a *fakeApplier) Heal()                             { a.log("heal") }
 func (a *fakeApplier) SetUploadCap(id model.NodeID, kbps int) {
 	a.log("cap %v %dkbps", id, kbps)
 }
+func (a *fakeApplier) SetQueueCap(id model.NodeID, kbps, deadlineRounds int) {
+	a.log("qcap %v %dkbps d=%d", id, kbps, deadlineRounds)
+}
 func (a *fakeApplier) SetBehavior(id model.NodeID, p BehaviorProfile) error {
 	a.log("behavior %v %s", id, p)
 	return nil
@@ -100,6 +103,10 @@ func TestValidateRejectsBadScripts(t *testing.T) {
 			Events: []Event{{Round: 1, Action: ActionSetBehavior, Behavior: ProfileFreeRider}}},
 		{Name: "behavior-unknown-profile", Rounds: 5,
 			Events: []Event{{Round: 1, Action: ActionSetBehavior, Node: 2, Behavior: "saint"}}},
+		{Name: "queue-cap-negative", Rounds: 5,
+			Events: []Event{{Round: 1, Action: ActionSetQueueCap, CapKbps: -5}}},
+		{Name: "queue-cap-bad-deadline", Rounds: 5,
+			Events: []Event{{Round: 1, Action: ActionSetQueueCap, DeadlineRounds: -2}}},
 		{Name: "bad-churn-window", Rounds: 5,
 			Churn: &Churn{FromRound: 4, ToRound: 2, JoinsPerRound: 1}},
 		{Name: "bad-crash-fraction", Rounds: 5,
@@ -110,6 +117,18 @@ func TestValidateRejectsBadScripts(t *testing.T) {
 			t.Errorf("scenario %q validated but should not", s.Name)
 		}
 	}
+}
+
+// TestQueueCapDisableExpiryValidates: deadline_rounds -1 is the scripted
+// form of the store-and-forward ablation (expiry off) and must validate.
+func TestQueueCapDisableExpiryValidates(t *testing.T) {
+	s := Scenario{Name: "ablate", Rounds: 3, Events: []Event{
+		{Round: 1, Action: ActionSetQueueCap, CapKbps: 50, DeadlineRounds: -1},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("expiry-off ablation rejected: %v", err)
+	}
+	roundTrip(t, s)
 }
 
 func TestJSONRoundTrip(t *testing.T) {
@@ -147,6 +166,39 @@ func TestTimelineFiresInRoundOrder(t *testing.T) {
 	}
 	if len(tl.Journal()) != 3 {
 		t.Fatalf("journal has %d entries", len(tl.Journal()))
+	}
+}
+
+// TestQueueCapFansOutToAllMembers: a set_queue_cap with no node targets
+// every current non-source member in ascending order — one journal entry,
+// N applier calls.
+func TestQueueCapFansOutToAllMembers(t *testing.T) {
+	s := Scenario{Name: "qcap-all", Rounds: 4, Events: []Event{
+		{Round: 2, Action: ActionSetQueueCap, CapKbps: 90, DeadlineRounds: 3},
+		{Round: 3, Action: ActionSetQueueCap, Node: 4, CapKbps: 45},
+	}}
+	tl, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newFakeApplier(5) // members 2..5, source excluded
+	for r := model.Round(1); r <= 4; r++ {
+		tl.Apply(r, a)
+	}
+	want := []string{
+		"qcap n2 90kbps d=3", "qcap n3 90kbps d=3",
+		"qcap n4 90kbps d=3", "qcap n5 90kbps d=3",
+		"qcap n4 45kbps d=0",
+	}
+	if !reflect.DeepEqual(a.calls, want) {
+		t.Fatalf("calls = %v, want %v", a.calls, want)
+	}
+	j := tl.Journal()
+	if len(j) != 2 {
+		t.Fatalf("journal has %d entries, want 2 (the sweep is one event)", len(j))
+	}
+	if j[0].Detail != "cap=90kbps deadline=3r nodes=4" {
+		t.Fatalf("sweep journal detail %q", j[0].Detail)
 	}
 }
 
@@ -223,7 +275,7 @@ func TestApplyFailureIsJournaledNotFatal(t *testing.T) {
 
 func TestCannedScenariosValidate(t *testing.T) {
 	for _, name := range Names() {
-		s, err := ByName(name, 20)
+		s, err := ByName(name, 20, 60)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,7 +286,7 @@ func TestCannedScenariosValidate(t *testing.T) {
 			t.Errorf("canned scenario %q does not compile: %v", name, err)
 		}
 	}
-	if _, err := ByName("nope", 20); err == nil {
+	if _, err := ByName("nope", 20, 60); err == nil {
 		t.Fatal("unknown canned name accepted")
 	}
 }

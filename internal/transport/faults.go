@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"sort"
 	"sync"
 
 	"repro/internal/model"
@@ -13,6 +14,20 @@ import (
 // apply the same surface. MemNet consults it at its canonical merge point
 // (preserving the parallel engine's byte-identical guarantee); TCPNet
 // consults it on the wire path, at send and receive.
+//
+// # The link model
+//
+// Upload caps are a queued link model, not a drop filter: a constrained
+// uplink delays traffic before it loses it. Each capped node owns a FIFO
+// byte-budgeted outbound queue. A message that exceeds the node's
+// remaining per-round byte budget (or arrives while earlier messages are
+// still queued — FIFO pacing admits nothing out of order) is deferred: it
+// waits in the queue and is released in subsequent rounds at the cap
+// rate, by the drain step the transports run at every round boundary
+// (BeginRound). A queued message whose age exceeds the configured
+// deadline (the §V-D playout window: content this stale is useless to the
+// receiver) is expired — dropped and counted separately from loss drops,
+// so reports can tell queue pressure from a lossy network.
 
 // Outcome is a FaultPlane admission decision for one message.
 type Outcome int
@@ -25,17 +40,40 @@ const (
 	// OutcomeDropped discards the message after it left the sender's NIC:
 	// the sender is charged, the receiver is not.
 	OutcomeDropped
-	// OutcomeCapDropped discards the message before it left the NIC (the
-	// sender's per-round upload budget is exhausted): nobody is charged.
-	OutcomeCapDropped
+	// OutcomeQueued defers the message: the sender's per-round upload
+	// budget is exhausted (or earlier messages are already waiting), so
+	// the message sits in the node's outbound queue until a later round's
+	// budget releases it — or until it expires. Nobody is charged until
+	// release; release charges the round the bytes actually leave the NIC.
+	OutcomeQueued
 )
+
+// (The pre-queue OutcomeCapDropped constant is gone on purpose, not
+// aliased: its meaning inverted — a capped message used to be lost, now
+// it is deferred and usually still delivered — so any switch arm written
+// against it must be reviewed, not silently recompiled. The CapDrops
+// *counter* keeps a deprecated alias below; counters only renamed.)
+
+// DefaultQueueDeadlineRounds is the queue-expiry default: the paper's
+// 10-round playout window (§V-D) — bytes still queued when their content's
+// playback deadline passes can no longer be useful to the receiver.
+const DefaultQueueDeadlineRounds = model.PlayoutDelayRounds
+
+// queuedMsg is one deferred message with the plane round it was queued in.
+type queuedMsg struct {
+	msg   Message
+	round uint64
+}
 
 // FaultPlane owns the scripted network conditions and their accounting.
 // All zero-valued knobs describe a perfect network. Every draw comes from
 // one seeded PRNG, so a run that consults the plane in a deterministic
 // message order (MemNet's canonical merge) replays byte-identically under
 // the same seed; a transport that consults it in wall-clock order (TCPNet)
-// is statistically equivalent instead.
+// is statistically equivalent instead. The queue machinery itself never
+// touches the PRNG: deferral and expiry are pure functions of byte
+// budgets and round ages, so the Deferred/CapExpired counters agree
+// exactly across transports for the same per-sender send sequence.
 //
 // A FaultPlane is safe for concurrent use; each Network owns exactly one
 // (shared access via Faults()).
@@ -49,8 +87,18 @@ type FaultPlane struct {
 	down      map[model.NodeID]bool
 	caps      map[model.NodeID]uint64 // bytes per round; 0 = unlimited
 	spent     map[model.NodeID]uint64 // bytes sent this round
-	dropped   uint64
-	capDrops  uint64
+
+	// queues holds each capped sender's deferred messages in FIFO order;
+	// round counts BeginRound calls and prices queue ages, and deadline
+	// is the age (in rounds spent waiting) beyond which a queued message
+	// expires; <= 0 disables expiry.
+	queues   map[model.NodeID][]queuedMsg
+	round    uint64
+	deadline int
+
+	dropped  uint64
+	deferred uint64
+	expired  uint64
 }
 
 // faultSeedMix is the PRNG whitening constant shared by seeded and default
@@ -60,10 +108,12 @@ const faultSeedMix = 0x9E3779B97F4A7C15
 // NewFaultPlane creates a fault plane describing a perfect network.
 func NewFaultPlane() *FaultPlane {
 	return &FaultPlane{
-		rng:   model.SplitMix64{State: faultSeedMix},
-		down:  make(map[model.NodeID]bool),
-		caps:  make(map[model.NodeID]uint64),
-		spent: make(map[model.NodeID]uint64),
+		rng:      model.SplitMix64{State: faultSeedMix},
+		down:     make(map[model.NodeID]bool),
+		caps:     make(map[model.NodeID]uint64),
+		spent:    make(map[model.NodeID]uint64),
+		queues:   make(map[model.NodeID][]queuedMsg),
+		deadline: DefaultQueueDeadlineRounds,
 	}
 }
 
@@ -130,16 +180,28 @@ func (p *FaultPlane) Heal() {
 }
 
 // SetNodeDown marks a node crashed: everything it sends or should receive
-// is dropped until it comes back up.
+// is dropped until it comes back up. The node's link queue dies with its
+// NIC — a crashed machine's buffered frames are gone, counted as drops —
+// so a later recovery (or an evicted id re-joining after quarantine)
+// starts with an empty uplink, never a stale pre-crash backlog.
 func (p *FaultPlane) SetNodeDown(id model.NodeID, isDown bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.down[id] = isDown
+	if isDown {
+		if q := p.queues[id]; len(q) > 0 {
+			p.dropped += uint64(len(q))
+			delete(p.queues, id)
+		}
+	}
 }
 
 // SetUploadCap bounds a node's outbound bytes per round (0 removes the
-// cap). Messages beyond the budget never leave the NIC: they are dropped
-// uncharged, so the node's measured bandwidth saturates at the cap.
+// cap). Over-budget messages queue at the NIC instead of vanishing: they
+// are released in FIFO order by later rounds' budgets (so the node's
+// measured egress saturates at the cap while its backlog grows) and
+// expire — counted in CapExpired — once they out-age the queue deadline.
+// Removing the cap releases the whole backlog at the next round boundary.
 func (p *FaultPlane) SetUploadCap(id model.NodeID, bytesPerRound uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -162,45 +224,220 @@ func (p *FaultPlane) SetUploadCapKbps(id model.NodeID, kbps int) {
 	p.SetUploadCap(id, uint64(kbps)*1000/8*model.RoundDurationSeconds)
 }
 
-// BeginRound resets the per-round upload budgets; the round driver calls
-// it at the top of every round.
-func (p *FaultPlane) BeginRound() {
+// SetQueueDeadline bounds how many rounds a deferred message may wait in
+// a capped node's queue before it expires (the §V-D playout window; the
+// default is DefaultQueueDeadlineRounds, and a session lowers it to its
+// TTL). rounds <= 0 disables expiry — an unbounded queue, the pure
+// store-and-forward ablation.
+func (p *FaultPlane) SetQueueDeadline(rounds int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.deadline = rounds
+}
+
+// BeginRound opens a round at the link model: it expires over-age queued
+// messages, resets the per-round upload budgets, and releases as much of
+// each node's backlog as the fresh budget allows — in deterministic order
+// (ascending node id, FIFO within a node), so the release sequence is
+// independent of scheduling. The round driver calls it at the top of
+// every round and must hand the returned messages to its delivery path:
+// they have passed the cap (their budget is charged) but not the rest of
+// the plane — run each through AdmitReleased before delivering.
+func (p *FaultPlane) BeginRound() (released []Message) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.round++
 	p.spent = make(map[model.NodeID]uint64, len(p.spent))
+	if len(p.queues) == 0 {
+		return nil
+	}
+	ids := make([]model.NodeID, 0, len(p.queues))
+	for id := range p.queues {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		q := p.queues[id]
+		// Expire from the head: FIFO means ages are non-increasing toward
+		// the tail, so the expired prefix is contiguous. A message queued
+		// during round r has age (round − r); it expires once the age
+		// exceeds the deadline — i.e. it survived `deadline` full rounds
+		// of release opportunities.
+		i := 0
+		for ; i < len(q); i++ {
+			if p.deadline <= 0 || p.round-q[i].round <= uint64(p.deadline) {
+				break
+			}
+			p.expired++
+			p.dropped++
+		}
+		q = q[i:]
+		// Release in FIFO order while the fresh budget lasts. A removed
+		// cap (limit 0) releases the whole backlog. A frame larger than
+		// the whole per-round budget goes out when it reaches the head
+		// of the line at a fresh round — it overshoots and consumes the
+		// entire budget, like a serializing NIC spilling across round
+		// boundaries — so one oversized message delays the queue by a
+		// round instead of wedging it forever.
+		limit := p.caps[id]
+		i = 0
+		for ; i < len(q); i++ {
+			size := uint64(q[i].msg.WireSize())
+			if limit > 0 && p.spent[id] > 0 && p.spent[id]+size > limit {
+				break
+			}
+			p.spent[id] += size
+			released = append(released, q[i].msg)
+		}
+		if rest := q[i:]; len(rest) == 0 {
+			delete(p.queues, id)
+		} else {
+			p.queues[id] = rest
+		}
+	}
+	return released
 }
 
 // Dropped returns how many messages the fault plane (drop predicate, loss,
-// partitions, down nodes and upload caps combined) discarded.
+// partitions, down nodes and queue expiry combined) discarded. Deferred
+// messages are not drops — they may still be delivered.
 func (p *FaultPlane) Dropped() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.dropped
 }
 
-// CapDrops returns how many messages were discarded by upload caps alone.
-func (p *FaultPlane) CapDrops() uint64 {
+// Deferred returns how many messages upload caps have queued for a later
+// round (cumulative; a message deferred across several rounds counts
+// once, at enqueue).
+func (p *FaultPlane) Deferred() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.capDrops
+	return p.deferred
 }
 
-// Admit runs one outbound message through the plane — upload cap, drop
-// predicate, down nodes, partition, uniform and per-link loss, in that
-// fixed order (the order every PRNG draw depends on) — updates the drop
+// CapExpired returns how many queued messages were dropped because they
+// out-aged the queue deadline before the cap released them — the
+// bandwidth plane's starvation signal, disjoint from loss drops.
+func (p *FaultPlane) CapExpired() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.expired
+}
+
+// CapDrops returns how many messages upload caps discarded.
+//
+// Deprecated: since the queued link model, caps defer first and only
+// deadline expiry discards; CapDrops is an alias of CapExpired kept so
+// pre-refactor callers and report consumers stay correct. New code should
+// read CapExpired (discards) and Deferred (queue pressure) instead.
+func (p *FaultPlane) CapDrops() uint64 { return p.CapExpired() }
+
+// QueueDepth returns how many messages are currently waiting in the
+// upload queues across all nodes.
+func (p *FaultPlane) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// QueueDepthOf returns how many messages one node's upload queue holds.
+func (p *FaultPlane) QueueDepthOf(id model.NodeID) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queues[id])
+}
+
+// Admit runs one outbound message through the plane — upload cap/queue,
+// drop predicate, down nodes, partition, uniform and per-link loss, in
+// that fixed order (the order every PRNG draw depends on) — updates the
 // counters and the sender's round budget, and returns the outcome. The
 // caller charges traffic according to the outcome: sender on anything but
-// OutcomeCapDropped, receiver only on OutcomePass.
+// OutcomeQueued, receiver only on OutcomePass. A queued message is
+// retained by the plane (payload copied) until a later BeginRound
+// releases or expires it.
 func (p *FaultPlane) Admit(msg Message) Outcome {
+	return p.admit(msg, false)
+}
+
+// AdmitOwned is Admit for callers that transfer ownership of the payload
+// buffer (MemNet's merge point, whose endpoints already copied it): a
+// deferred message is retained without a second copy.
+func (p *FaultPlane) AdmitOwned(msg Message) Outcome {
+	return p.admit(msg, true)
+}
+
+func (p *FaultPlane) admit(msg Message, ownsPayload bool) Outcome {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	size := uint64(msg.WireSize())
-	if limit, ok := p.caps[msg.From]; ok && p.spent[msg.From]+size > limit {
-		p.capDrops++
+	// A down sender drops before the queue gates: its NIC is dead, so
+	// nothing defers on its behalf — the same instant-drop (charged, no
+	// PRNG draw) its in-budget sends have always received. The drop
+	// predicate still observes the message (test taps count on seeing
+	// every non-deferred send, and its verdict cannot change a drop).
+	if p.down[msg.From] {
+		p.spent[msg.From] += size
+		if p.drop != nil {
+			_ = p.drop(msg)
+		}
 		p.dropped++
-		return OutcomeCapDropped
+		return OutcomeDropped
+	}
+	// FIFO pacing: while anything is queued, later messages wait behind
+	// it even if they would fit the remaining budget — or even if the cap
+	// was just removed mid-round (the backlog still flushes first, at the
+	// next round boundary). A frame larger than the whole budget passes
+	// only on an untouched round (spent 0) and then consumes it all — the
+	// same oversized-frame rule the release loop applies, so a message
+	// can never be too big to ever leave the NIC.
+	if len(p.queues[msg.From]) > 0 {
+		p.enqueue(msg, ownsPayload)
+		return OutcomeQueued
+	}
+	if limit, ok := p.caps[msg.From]; ok &&
+		p.spent[msg.From] > 0 && p.spent[msg.From]+size > limit {
+		p.enqueue(msg, ownsPayload)
+		return OutcomeQueued
 	}
 	p.spent[msg.From] += size
+	if p.drop != nil && p.drop(msg) {
+		p.dropped++
+		return OutcomeDropped
+	}
+	if p.faultDrop(msg) {
+		p.dropped++
+		return OutcomeDropped
+	}
+	return OutcomePass
+}
+
+// enqueue defers msg on its sender's queue, with p.mu held. Unless the
+// caller handed over ownership, the payload is copied: the plane outlives
+// the caller's buffer (Endpoint.Send promises not to retain it).
+func (p *FaultPlane) enqueue(msg Message, ownsPayload bool) {
+	if !ownsPayload {
+		cp := make([]byte, len(msg.Payload))
+		copy(cp, msg.Payload)
+		msg.Payload = cp
+	}
+	p.queues[msg.From] = append(p.queues[msg.From], queuedMsg{msg: msg, round: p.round})
+	p.deferred++
+}
+
+// AdmitReleased runs a queue-released message through the post-cap half of
+// the plane — drop predicate, down nodes, partition, loss — and returns
+// OutcomePass or OutcomeDropped. BeginRound already charged the budget;
+// the caller charges traffic exactly as for Admit. Transports must call
+// it in the release order BeginRound returned, so the PRNG draws stay in
+// the deterministic sequence MemNet's byte-identity requires.
+func (p *FaultPlane) AdmitReleased(msg Message) Outcome {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.drop != nil && p.drop(msg) {
 		p.dropped++
 		return OutcomeDropped
@@ -260,12 +497,15 @@ func (p *FaultPlane) refundSpent(id model.NodeID, size uint64) {
 	}
 }
 
-// resetCounters zeroes the drop counters (MemNet.ResetTraffic contract).
+// resetCounters zeroes the drop, deferral and expiry counters
+// (MemNet.ResetTraffic contract). Queued messages are in-flight state,
+// not statistics: the backlog survives a counter reset.
 func (p *FaultPlane) resetCounters() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.dropped = 0
-	p.capDrops = 0
+	p.deferred = 0
+	p.expired = 0
 }
 
 // ---------------------------------------------------------------------------
@@ -273,13 +513,15 @@ func (p *FaultPlane) resetCounters() {
 // ---------------------------------------------------------------------------
 
 // SteppedNetwork is the surface a round engine drives: registration plus
-// per-round budget reset, a quiescence point between phases, and per-node
-// traffic accounting for the bandwidth meter. MemNet delivers everything
-// synchronously at DeliverAll; TCPNet waits for its wire traffic to drain.
+// per-round link-queue drain and budget reset, a quiescence point between
+// phases, and per-node traffic accounting for the bandwidth meter. MemNet
+// delivers everything synchronously at DeliverAll; TCPNet waits for its
+// wire traffic to drain.
 type SteppedNetwork interface {
 	Network
-	// BeginRound resets per-round state (upload budgets) at the top of a
-	// round.
+	// BeginRound runs the round-boundary link-model step: expire over-age
+	// queued messages, reset the per-round upload budgets, and move the
+	// releasable backlog back onto the delivery path.
 	BeginRound()
 	// DeliverAll delivers until the network quiesces and returns how many
 	// messages were handed to handlers.

@@ -20,14 +20,19 @@ import (
 // machines × 9 instances, §VII-A).
 //
 // Since the fault-plane extraction, TCPNet carries the same scripted
-// fault surface as MemNet — loss, partitions, down nodes, upload caps —
-// applied on the wire path: the full admission pipeline runs at send time
-// (a dropped message never reaches the socket), and a stateless
-// down/partition recheck runs at receive time for messages that were in
-// flight when the condition changed. The PRNG is consulted once per
-// message, at admission, in wall-clock send order — so a faulty TCP run
-// is statistically equivalent to the MemNet run of the same script, not
-// byte-identical (MemNet's canonical merge order is what buys bytes).
+// fault surface as MemNet — loss, partitions, down nodes, queued upload
+// caps — applied on the wire path: the full admission pipeline runs at
+// send time (a dropped message never reaches the socket; an over-budget
+// one waits in the plane's link queue instead), the round-boundary drain
+// (BeginRound) writes released backlog to the sockets before the round's
+// fresh traffic, and a stateless down/partition recheck runs at receive
+// time for messages that were in flight when the condition changed. The
+// PRNG is consulted once per message, at admission, in wall-clock send
+// order — so a faulty TCP run is statistically equivalent to the MemNet
+// run of the same script, not byte-identical (MemNet's canonical merge
+// order is what buys bytes). The queue machinery never rolls the PRNG,
+// which is why the Deferred/CapExpired counters agree exactly across the
+// two transports for the same per-sender send sequence.
 //
 // Traffic accounting mirrors MemNet: every message is charged
 // Message.WireSize() (HeaderBytes framing, not the raw 13-byte TCP frame
@@ -103,11 +108,68 @@ func (t *TCPNet) Name() string { return "tcp" }
 // Dropped returns the fault plane's combined drop counter.
 func (t *TCPNet) Dropped() uint64 { return t.faults.Dropped() }
 
-// CapDrops returns how many messages were discarded by upload caps alone.
+// Deferred returns how many messages upload caps queued for later rounds.
+func (t *TCPNet) Deferred() uint64 { return t.faults.Deferred() }
+
+// CapExpired returns how many queued messages expired before the cap
+// released them.
+func (t *TCPNet) CapExpired() uint64 { return t.faults.CapExpired() }
+
+// CapDrops returns how many messages upload caps discarded.
+//
+// Deprecated: alias of CapExpired since the queued link model; see
+// FaultPlane.CapDrops.
 func (t *TCPNet) CapDrops() uint64 { return t.faults.CapDrops() }
 
-// BeginRound resets the fault plane's per-round upload budgets.
-func (t *TCPNet) BeginRound() { t.faults.BeginRound() }
+// BeginRound runs the link model's round-boundary drain: the fault plane
+// expires over-age queued messages, resets the per-round upload budgets
+// and releases the backlog the fresh budgets allow; the released messages
+// are written to the sockets here, ahead of the round's fresh traffic
+// (FIFO pacing at the NIC).
+func (t *TCPNet) BeginRound() {
+	released := t.faults.BeginRound()
+	if len(released) == 0 {
+		return
+	}
+	// One roster snapshot serves the whole drain: the stepped contract
+	// runs BeginRound between rounds, so registrations cannot legitimately
+	// move under it, and a pressured release is hundreds of messages.
+	t.mu.Lock()
+	senders := make(map[model.NodeID]*tcpEndpoint, len(t.nodes))
+	for id, ep := range t.nodes {
+		senders[id] = ep
+	}
+	t.mu.Unlock()
+	for _, msg := range released {
+		size := uint64(msg.WireSize())
+		ep := senders[msg.From]
+		// Post-cap admission runs in release order — the same
+		// deterministic sequence MemNet replays at its merge — and it
+		// runs even for a sender that deregistered while its backlog
+		// waited, so the two transports' drop accounting stays aligned
+		// (a session takes a node off the wire by also marking it down,
+		// which is a plane drop on both). A message that would still
+		// pass but whose NIC is gone is the one case the wire cannot
+		// mirror MemNet's surviving-endpoint delivery: it is treated as
+		// a write failure — budget refunded, nothing charged.
+		outcome := t.faults.AdmitReleased(msg)
+		if ep == nil {
+			if outcome == OutcomePass {
+				t.faults.refundSpent(msg.From, size)
+			} else {
+				t.charge(msg.From, false, size)
+			}
+			continue
+		}
+		t.charge(msg.From, false, size)
+		if outcome != OutcomePass {
+			continue
+		}
+		if err := ep.transmit(msg.To, msg.Kind, msg.Payload, size); err != nil {
+			continue // transmit already refunded the charge
+		}
+	}
+}
 
 // SetDynamic enables the dynamic roster: Register for an id with no book
 // entry listens on host:0 (an ephemeral port) and records the resolved
@@ -416,10 +478,12 @@ func (e *tcpEndpoint) NodeID() model.NodeID { return e.id }
 // frame layout: from(4) to(4) kind(1) len(4) payload.
 const _tcpFrameHeader = 4 + 4 + 1 + 4
 
-// Send implements Endpoint. The fault plane admits or drops the message
-// before it touches a socket: a capped message is silently discarded
-// uncharged, a lost one is charged to the sender only — exactly MemNet's
-// accounting, applied at the NIC instead of the merge point.
+// Send implements Endpoint. The fault plane admits, queues or drops the
+// message before it touches a socket: a message beyond the upload budget
+// waits in the link queue uncharged (it is charged when a later round's
+// budget releases it onto the wire), a lost one is charged to the sender
+// only — exactly MemNet's accounting, applied at the NIC instead of the
+// merge point.
 func (e *tcpEndpoint) Send(to model.NodeID, kind uint8, payload []byte) error {
 	e.net.mu.Lock()
 	_, known := e.net.book[to]
@@ -431,14 +495,20 @@ func (e *tcpEndpoint) Send(to model.NodeID, kind uint8, payload []byte) error {
 	msg := Message{From: e.id, To: to, Kind: kind, Payload: payload}
 	size := uint64(msg.WireSize())
 	switch e.net.faults.Admit(msg) {
-	case OutcomeCapDropped:
+	case OutcomeQueued:
 		return nil
 	case OutcomeDropped:
 		e.net.charge(e.id, false, size)
 		return nil
 	}
 	e.net.charge(e.id, false, size)
+	return e.transmit(to, kind, payload, size)
+}
 
+// transmit writes an already-admitted, already-charged frame to the
+// destination's connection; on dial or write failure the charge and the
+// round budget are refunded (the bytes never left the NIC).
+func (e *tcpEndpoint) transmit(to model.NodeID, kind uint8, payload []byte, size uint64) error {
 	conn, err := e.conn(to)
 	if err != nil {
 		e.net.unchargeSend(e.id, size)

@@ -18,10 +18,12 @@ import (
 // PRNG is involved (loss) — plus race coverage for the dynamic roster.
 
 // faultScript drives one scripted fault timeline over any FaultyNetwork:
-// four nodes, clean rounds, a lossy phase, a partition phase and a capped
-// phase, sending a fixed pattern in ascending sender order (so a
-// transport that admits at send time consults the PRNG in the same order
-// as MemNet's canonical merge). It returns per-node delivery counts.
+// four nodes, clean rounds, a lossy phase, a partition phase, a capped
+// phase (link queue builds up), a queue-expiry phase and a down phase
+// that also drains the backlog, sending a fixed pattern in ascending
+// sender order (so a transport that admits at send time consults the PRNG
+// in the same order as MemNet's canonical merge). It returns per-node
+// delivery counts.
 func faultScript(t *testing.T, nw FaultyNetwork, msgsPerPair int) []int {
 	t.Helper()
 	const nodes = 4
@@ -76,12 +78,18 @@ func faultScript(t *testing.T, nw FaultyNetwork, msgsPerPair int) []int {
 	round()
 	round()
 	nw.Faults().Heal()
-	// Capped phase: node 1 may send 3 messages per round.
+	// Capped phase: node 1 may send 3 messages per round; the rest of its
+	// 30 per-round sends queue at the NIC and carry over.
 	nw.Faults().SetUploadCap(1, capBudget)
 	round()
 	round()
-	// Down phase: node 4 crashes.
+	// Expiry phase: a 1-round queue deadline ages out the oldest backlog.
+	nw.Faults().SetQueueDeadline(1)
+	round()
+	// Down phase: node 4 crashes; lifting the cap (and the deadline)
+	// releases the surviving backlog in one burst.
 	nw.Faults().SetUploadCap(1, 0)
+	nw.Faults().SetQueueDeadline(0)
 	nw.Faults().SetNodeDown(4, true)
 	round()
 	return got
@@ -114,10 +122,27 @@ func TestTCPFaultCountersMatchMemNet(t *testing.T) {
 		t.Errorf("drop counters diverge beyond tolerance: mem=%d tcp=%d (tolerance %d)",
 			memDrops, tcpDrops, tolerance)
 	}
-	// Caps and partitions are deterministic: same budget, same send
-	// order, so the cap counter must match exactly.
-	if mem.CapDrops() != tn.CapDrops() {
-		t.Errorf("cap drops diverge: mem=%d tcp=%d", mem.CapDrops(), tn.CapDrops())
+	// The link queue is deterministic: deferral and expiry never touch
+	// the PRNG, so for the same per-sender send sequence both transports
+	// must agree exactly — queue pressure is a measurement, not noise.
+	if mem.Deferred() != tn.Deferred() {
+		t.Errorf("deferral counters diverge: mem=%d tcp=%d", mem.Deferred(), tn.Deferred())
+	}
+	if mem.CapExpired() != tn.CapExpired() {
+		t.Errorf("expiry counters diverge: mem=%d tcp=%d", mem.CapExpired(), tn.CapExpired())
+	}
+	// The deprecated alias keeps old consumers on the expiry counter.
+	if mem.CapDrops() != mem.CapExpired() || tn.CapDrops() != tn.CapExpired() {
+		t.Errorf("CapDrops alias diverged: mem %d/%d tcp %d/%d",
+			mem.CapDrops(), mem.CapExpired(), tn.CapDrops(), tn.CapExpired())
+	}
+	// Everything queued was eventually released or expired: the backlog
+	// fully drains once the cap lifts.
+	if d := mem.Faults().QueueDepth(); d != 0 {
+		t.Errorf("mem queue depth %d after the uncapped drain, want 0", d)
+	}
+	if d := tn.Faults().QueueDepth(); d != 0 {
+		t.Errorf("tcp queue depth %d after the uncapped drain, want 0", d)
 	}
 	// Per-node deliveries within the same tolerance.
 	for i := 1; i < len(memGot); i++ {
@@ -129,8 +154,9 @@ func TestTCPFaultCountersMatchMemNet(t *testing.T) {
 			t.Errorf("node %d deliveries diverge: mem=%d tcp=%d", i, memGot[i], tcpGot[i])
 		}
 	}
-	if memDrops == 0 || mem.CapDrops() == 0 {
-		t.Fatalf("script exercised no faults: dropped=%d capDrops=%d", memDrops, mem.CapDrops())
+	if memDrops == 0 || mem.Deferred() == 0 || mem.CapExpired() == 0 {
+		t.Fatalf("script exercised no faults: dropped=%d deferred=%d expired=%d",
+			memDrops, mem.Deferred(), mem.CapExpired())
 	}
 }
 

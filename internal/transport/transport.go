@@ -103,10 +103,13 @@ type DropFunc func(Message) bool
 //
 // Beyond the raw DropFunc hook, MemNet carries the schedulable FaultPlane
 // (faults.go) — uniform and per-link loss rates, partitions that open and
-// heal, per-node down flags and per-round upload caps — all driven by a
-// seeded PRNG. Because MemNet consults the plane only at the canonical
-// merge point, a faulty run replays byte-identically under the same seed
-// and at any worker count.
+// heal, per-node down flags and per-round upload caps modelled as queued
+// links (over-budget messages defer and carry over, paced by the cap,
+// expiring past the queue deadline) — all loss driven by a seeded PRNG.
+// Because MemNet consults the plane only at the canonical merge point —
+// round-boundary carryover prepended in the plane's deterministic release
+// order, then fresh sends in merge order — a faulty run replays
+// byte-identically under the same seed and at any worker count.
 type MemNet struct {
 	// regMu guards the endpoint/handler registry. During a simulation
 	// phase it is almost only read (Send checks the destination), so
@@ -124,11 +127,20 @@ type MemNet struct {
 	endpoints map[model.NodeID]*memEndpoint
 	active    map[model.NodeID]*memEndpoint
 
-	// mu guards the traffic accounts. They are touched only at
-	// merge/delivery points, which are single-threaded even under the
-	// parallel engine.
+	// mu guards the traffic accounts and the carryover buffer. They are
+	// touched only at merge/delivery points and round boundaries, which
+	// are single-threaded even under the parallel engine.
 	mu      sync.Mutex
 	traffic map[model.NodeID]*Traffic
+
+	// carryover holds the messages the link model released at the last
+	// round boundary (BeginRound): bytes that waited in a capped node's
+	// queue and now fit the fresh budget. The next TakeWave prepends them
+	// to the canonical stream — queued bytes leave the NIC before the
+	// round's new sends, exactly like a real FIFO uplink — and runs them
+	// through the post-cap fault plane (AdmitReleased) in release order,
+	// so every PRNG draw stays canonical.
+	carryover []Message
 
 	// faults is the transport-agnostic fault plane, consulted exclusively
 	// at the merge point so every PRNG draw happens in canonical order.
@@ -216,18 +228,28 @@ func (n *MemNet) Unregister(id model.NodeID) bool {
 }
 
 // SetDropFunc, SetFaultSeed, SetLossRate, SetLinkLoss, SetPartition, Heal,
-// SetNodeDown, SetUploadCap, Dropped and CapDrops delegate to the fault
-// plane — kept as methods so existing callers (and the pre-extraction API)
-// keep working unchanged.
+// SetNodeDown, SetUploadCap, Dropped and the queue counters delegate to
+// the fault plane — kept as methods so existing callers (and the
+// pre-extraction API) keep working unchanged.
 
 // SetDropFunc installs a fault-injection predicate (nil to clear).
 func (n *MemNet) SetDropFunc(f DropFunc) { n.faults.SetDropFunc(f) }
 
 // Dropped returns how many messages the fault plane (drop predicate, loss,
-// partitions, down nodes and upload caps combined) discarded.
+// partitions, down nodes and queue expiry combined) discarded.
 func (n *MemNet) Dropped() uint64 { return n.faults.Dropped() }
 
-// CapDrops returns how many messages were discarded by upload caps alone.
+// Deferred returns how many messages upload caps queued for later rounds.
+func (n *MemNet) Deferred() uint64 { return n.faults.Deferred() }
+
+// CapExpired returns how many queued messages expired before the cap
+// released them.
+func (n *MemNet) CapExpired() uint64 { return n.faults.CapExpired() }
+
+// CapDrops returns how many messages upload caps discarded.
+//
+// Deprecated: alias of CapExpired since the queued link model; see
+// FaultPlane.CapDrops.
 func (n *MemNet) CapDrops() uint64 { return n.faults.CapDrops() }
 
 // SetFaultSeed re-seeds the fault-plane PRNG; runs with the same seed and
@@ -262,15 +284,32 @@ func (n *MemNet) SetNodeDown(id model.NodeID, isDown bool) {
 }
 
 // SetUploadCap bounds a node's outbound bytes per round (0 removes the
-// cap). Messages beyond the budget never leave the NIC: they are dropped
-// uncharged, so the node's measured bandwidth saturates at the cap.
+// cap). Messages beyond the budget wait at the NIC: they queue in FIFO
+// order and are released by later rounds' budgets (so measured egress
+// saturates at the cap while the backlog grows), expiring once they
+// out-age the queue deadline.
 func (n *MemNet) SetUploadCap(id model.NodeID, bytesPerRound uint64) {
 	n.faults.SetUploadCap(id, bytesPerRound)
 }
 
-// BeginRound resets the per-round upload budgets; the simulation engine
-// calls it at the top of every round.
-func (n *MemNet) BeginRound() { n.faults.BeginRound() }
+// SetQueueDeadline bounds how long a capped node's queued messages may
+// wait before expiring (rounds; <= 0 disables expiry).
+func (n *MemNet) SetQueueDeadline(rounds int) { n.faults.SetQueueDeadline(rounds) }
+
+// BeginRound runs the link model's round-boundary drain: the fault plane
+// expires over-age queued messages, resets the per-round upload budgets
+// and releases the backlog the fresh budgets allow; the released messages
+// carry over into the next merge. The simulation engine calls it at the
+// top of every round.
+func (n *MemNet) BeginRound() {
+	released := n.faults.BeginRound()
+	if len(released) == 0 {
+		return
+	}
+	n.mu.Lock()
+	n.carryover = append(n.carryover, released...)
+	n.mu.Unlock()
+}
 
 func clampProb(p float64) float64 {
 	switch {
@@ -296,10 +335,13 @@ func (n *MemNet) mergeSet() []*memEndpoint {
 	return eps
 }
 
-// PendingCount returns the number of undelivered messages (the
-// endpoints' unflushed outboxes; nothing is queued between waves).
+// PendingCount returns the number of undelivered messages: the endpoints'
+// unflushed outboxes plus any round-boundary carryover awaiting its merge
+// (nothing else is queued between waves).
 func (n *MemNet) PendingCount() int {
-	total := 0
+	n.mu.Lock()
+	total := len(n.carryover)
+	n.mu.Unlock()
 	for _, ep := range n.mergeSet() {
 		ep.mu.Lock()
 		total += len(ep.outbox)
@@ -310,14 +352,24 @@ func (n *MemNet) PendingCount() int {
 
 // admit runs one merged message through the fault plane and reports
 // whether it survives; callers hold n.mu. The sender is charged here
-// (unless its upload cap swallowed the message before it left the NIC) —
-// at the merge point, in canonical order, so the charge sequence and every
-// PRNG consultation are independent of how the sends were scheduled.
+// (unless its upload cap queued the message — deferred bytes have not
+// left the NIC yet; they are charged at release) — at the merge point, in
+// canonical order, so the charge sequence and every PRNG consultation are
+// independent of how the sends were scheduled.
 func (n *MemNet) admit(msg Message) bool {
-	outcome := n.faults.Admit(msg)
-	if outcome == OutcomeCapDropped {
+	// The endpoint copied the payload at Send, so the plane may retain it
+	// without another copy if the cap defers the message.
+	outcome := n.faults.AdmitOwned(msg)
+	if outcome == OutcomeQueued {
 		return false
 	}
+	n.chargeSendLocked(msg)
+	return outcome == OutcomePass
+}
+
+// chargeSendLocked charges msg to its sender's traffic account; callers
+// hold n.mu.
+func (n *MemNet) chargeSendLocked(msg Message) {
 	tr := n.traffic[msg.From]
 	if tr == nil {
 		tr = &Traffic{}
@@ -325,7 +377,18 @@ func (n *MemNet) admit(msg Message) bool {
 	}
 	tr.BytesOut += uint64(msg.WireSize())
 	tr.MsgsOut++
-	return outcome == OutcomePass
+}
+
+// chargeRecvLocked charges msg to its receiver's traffic account; callers
+// hold n.mu.
+func (n *MemNet) chargeRecvLocked(msg Message) {
+	tr := n.traffic[msg.To]
+	if tr == nil {
+		tr = &Traffic{}
+		n.traffic[msg.To] = tr
+	}
+	tr.BytesIn += uint64(msg.WireSize())
+	tr.MsgsIn++
 }
 
 // Delivery is one deliverable message paired with its destination's
@@ -336,11 +399,13 @@ type Delivery struct {
 }
 
 // TakeWave merges every endpoint's outbox into the queue in canonical
-// order (ascending sender id, per-sender send sequence), applies the fault
-// plane and all traffic charging, and drains the resulting wave. The
-// caller is responsible for invoking each Delivery's handler — in slice
-// order for a serial run, or partitioned by destination for a sharded run
-// (per-destination subsequences preserve the canonical order either way).
+// order (ascending sender id, per-sender send sequence) — with the round
+// boundary's link-queue carryover prepended in release order, ahead of
+// every fresh send — applies the fault plane and all traffic charging,
+// and drains the resulting wave. The caller is responsible for invoking
+// each Delivery's handler — in slice order for a serial run, or
+// partitioned by destination for a sharded run (per-destination
+// subsequences preserve the canonical order either way).
 func (n *MemNet) TakeWave() []Delivery {
 	// Drain the outboxes sender by sender in canonical order. Drained
 	// endpoints whose id is no longer registered fall out of the merge
@@ -358,21 +423,32 @@ func (n *MemNet) TakeWave() []Delivery {
 	n.pruneDeparted(eps)
 
 	n.mu.Lock()
-	out := make([]Delivery, 0, len(inflow))
+	carried := n.carryover
+	n.carryover = nil
+	out := make([]Delivery, 0, len(carried)+len(inflow))
+	for _, msg := range carried {
+		// Carryover already passed the cap (BeginRound charged its
+		// budget); only the post-cap plane applies. The sender is charged
+		// either way — released bytes left the NIC — the receiver only on
+		// delivery. Release order is BeginRound's deterministic order, so
+		// the PRNG consultations stay canonical.
+		outcome := n.faults.AdmitReleased(msg)
+		n.chargeSendLocked(msg)
+		if outcome != OutcomePass {
+			continue
+		}
+		n.chargeRecvLocked(msg)
+		out = append(out, Delivery{Msg: msg})
+	}
 	for _, msg := range inflow {
 		// The fault plane (including down senders/receivers) filters at
 		// admission; survivors are charged to the receiver immediately —
-		// nothing stays queued between waves.
+		// only cap-deferred messages stay queued between rounds, inside
+		// the fault plane.
 		if !n.admit(msg) {
 			continue
 		}
-		tr := n.traffic[msg.To]
-		if tr == nil {
-			tr = &Traffic{}
-			n.traffic[msg.To] = tr
-		}
-		tr.BytesIn += uint64(msg.WireSize())
-		tr.MsgsIn++
+		n.chargeRecvLocked(msg)
 		out = append(out, Delivery{Msg: msg})
 	}
 	n.mu.Unlock()

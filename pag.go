@@ -318,6 +318,11 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		s.engineKind, s.engineWorkers = "parallel", pe.Workers()
 	}
 	s.net.Faults().SetSeed(c.Seed)
+	// The link model's queue-expiry deadline follows the forwarding TTL:
+	// bytes still waiting behind an upload cap when their content's
+	// playout window closes (§V-D) can no longer help the receiver. A
+	// scenario's set_queue_cap events may retune it mid-run.
+	s.net.Faults().SetQueueDeadline(int(c.TTL))
 
 	ids := make([]model.NodeID, c.Nodes)
 	for i := range ids {
@@ -524,6 +529,29 @@ func (s *Session) dueThrough(r model.Round) uint64 {
 		return 0
 	}
 	return (uint64(r) - ttl) * uint64(s.source.PerRound())
+}
+
+// QueueStats is a snapshot of the bandwidth plane's link-queue activity:
+// how many messages upload caps deferred to later rounds, how many
+// expired waiting, and how many are queued right now.
+type QueueStats struct {
+	// Deferred counts messages the queued link model held back for a
+	// later round's budget (cumulative; deferral is delay, not loss).
+	Deferred uint64 `json:"deferred"`
+	// Expired counts queued messages dropped because they out-aged the
+	// queue deadline before their cap released them.
+	Expired uint64 `json:"expired"`
+	// Depth is the backlog currently waiting across all nodes.
+	Depth int `json:"depth"`
+}
+
+// QueueStats returns the session's current bandwidth-plane snapshot —
+// the measured counterpart of the analytic Table II sustainability test:
+// nonzero Deferred under a cap means the link is pacing traffic, nonzero
+// Expired means it can no longer keep up within the playout window.
+func (s *Session) QueueStats() QueueStats {
+	f := s.net.Faults()
+	return QueueStats{Deferred: f.Deferred(), Expired: f.CapExpired(), Depth: f.QueueDepth()}
 }
 
 // ConvictedNodes returns the nodes accused by at least threshold distinct

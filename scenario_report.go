@@ -48,7 +48,18 @@ type ProtocolRun struct {
 	// it stays truthful under churn (a per-node sample would silently
 	// drop departed nodes and dilute late joiners over the full window).
 	MeanBandwidthKbps float64 `json:"mean_bandwidth_kbps"`
-	MessagesDropped   uint64  `json:"messages_dropped"`
+	// MessagesDropped is the fault plane's combined discard counter:
+	// scripted loss, partitions, down nodes and queue expiry. Expiry is
+	// also broken out below so queue pressure and lossy links stay
+	// distinguishable.
+	MessagesDropped uint64 `json:"messages_dropped"`
+	// MessagesDeferred counts sends the queued link model (upload caps)
+	// carried over to a later round instead of dropping — delayed, not
+	// lost. MessagesExpired counts the queued messages that out-aged the
+	// playout deadline waiting for budget; they are included in
+	// MessagesDropped. (Pre-queue reports called the latter cap drops.)
+	MessagesDeferred uint64 `json:"messages_deferred"`
+	MessagesExpired  uint64 `json:"messages_expired"`
 	// Epochs slices the run by membership epoch.
 	Epochs []EpochStat `json:"epochs"`
 	// Convictions lists nodes with at least the conviction threshold of
@@ -129,14 +140,16 @@ func RunScenarioReport(base SessionConfig, sc scenario.Scenario,
 		s.Run(sc.Rounds - sc.WarmupRounds)
 
 		epochs := s.EpochStats()
-		dropped := s.net.Dropped()
+		queue := s.QueueStats()
 		run := ProtocolRun{
 			Protocol:          p.String(),
 			Rounds:            sc.Rounds,
 			FinalMembers:      len(s.Members()),
 			MeanContinuity:    s.MeanContinuity(),
 			MeanBandwidthKbps: weightedBandwidth(epochs),
-			MessagesDropped:   dropped,
+			MessagesDropped:   s.net.Dropped(),
+			MessagesDeferred:  queue.Deferred,
+			MessagesExpired:   queue.Expired,
 			Epochs:            epochs,
 			Convictions:       []Conviction{},
 			Evictions:         s.Evictions(),

@@ -25,11 +25,16 @@ import (
 
 var _ scenario.Applier = (*Session)(nil)
 
-// epochMark snapshots the traffic counters at a membership-epoch boundary
-// so per-epoch bandwidth can be computed as a delta.
+// epochMark snapshots the traffic and bandwidth-plane counters at a
+// measurement-epoch boundary (a membership change, or a scripted queue-cap
+// change) so per-epoch bandwidth, deferral and expiry can be computed as
+// deltas.
 type epochMark struct {
-	start   model.Round
-	traffic transport.Traffic
+	start      model.Round
+	traffic    transport.Traffic
+	deferred   uint64
+	expired    uint64
+	queueDepth int
 }
 
 // clientTraffic is the aggregate traffic excluding the source — epoch
@@ -39,13 +44,27 @@ func (s *Session) clientTraffic() transport.Traffic {
 	return total.Sub(s.net.TrafficOf(SourceID))
 }
 
-// bumpEpoch records a membership transition effective at round r.
+// bumpEpoch records a measurement-epoch transition effective at round r —
+// a membership change or a queue-cap change.
 func (s *Session) bumpEpoch(r model.Round) {
 	last := &s.epochMarks[len(s.epochMarks)-1]
 	if last.start == r {
-		return // several churn events in one round share an epoch mark
+		return // several events in one round share an epoch mark
 	}
-	s.epochMarks = append(s.epochMarks, epochMark{start: r, traffic: s.clientTraffic()})
+	s.epochMarks = append(s.epochMarks, s.markAt(r))
+}
+
+// markAt snapshots the session's cumulative counters for an epoch opening
+// at round r.
+func (s *Session) markAt(r model.Round) epochMark {
+	f := s.net.Faults()
+	return epochMark{
+		start:      r,
+		traffic:    s.clientTraffic(),
+		deferred:   f.Deferred(),
+		expired:    f.CapExpired(),
+		queueDepth: f.QueueDepth(),
+	}
 }
 
 // Join implements scenario.Applier: it mints an identity for the new
@@ -210,9 +229,28 @@ func (s *Session) Partition(groups [][]model.NodeID) { s.net.Faults().SetPartiti
 // Heal implements scenario.Applier.
 func (s *Session) Heal() { s.net.Faults().Heal() }
 
-// SetUploadCap implements scenario.Applier (kbps of upload per node).
+// SetUploadCap implements scenario.Applier (kbps of upload per node; the
+// transport's queued link model — over-budget messages defer rather than
+// drop).
 func (s *Session) SetUploadCap(id model.NodeID, kbps int) {
 	s.net.Faults().SetUploadCapKbps(id, kbps)
+}
+
+// SetQueueCap implements scenario.Applier: the link-model upload cap. It
+// caps the node (kbps; 0 removes), optionally retunes the queue-expiry
+// deadline (negative disables expiry, 0 keeps the current deadline), and
+// opens a measurement epoch at the current round so the report slices
+// continuity and queue pressure per capacity level — the measured form of
+// Table II's sustainable-quality sweep.
+func (s *Session) SetQueueCap(id model.NodeID, kbps, deadlineRounds int) {
+	f := s.net.Faults()
+	f.SetUploadCapKbps(id, kbps)
+	if deadlineRounds != 0 {
+		f.SetQueueDeadline(deadlineRounds)
+	}
+	// Scenario events fire at the top of the round after the last
+	// completed one.
+	s.bumpEpoch(s.engine.Round() + 1)
 }
 
 // SetBehavior implements scenario.Applier: it maps the protocol-agnostic
@@ -304,7 +342,10 @@ func (s *Session) Members() []model.NodeID { return s.dir.Nodes() }
 // Per-epoch metrics
 // ---------------------------------------------------------------------------
 
-// EpochStat summarises one membership epoch of a scripted run.
+// EpochStat summarises one measurement epoch of a scripted run. An epoch
+// opens at a membership transition or at a scripted queue-cap change
+// (set_queue_cap), so capacity sweeps slice cleanly even with the
+// membership static.
 type EpochStat struct {
 	// Index is the 0-based epoch number; StartRound/EndRound bound it
 	// (inclusive; the last epoch ends at the last completed round).
@@ -312,7 +353,8 @@ type EpochStat struct {
 	StartRound model.Round `json:"start_round"`
 	EndRound   model.Round `json:"end_round"`
 	// Members is the membership size during the epoch (constant by
-	// construction — a membership change opens a new epoch).
+	// construction — a membership change opens a new epoch; queue-cap
+	// epochs inherit the size unchanged).
 	Members int `json:"members"`
 	// MeanContinuity averages, over the epoch's non-source members, the
 	// delivery ratio of the chunks whose playout deadline fell inside
@@ -324,6 +366,21 @@ type EpochStat struct {
 	// Verdicts counts the deduplicated proofs of misbehaviour raised
 	// during the epoch, across all protocols in the session.
 	Verdicts int `json:"verdicts"`
+	// Deferred and Expired count the bandwidth plane's activity during
+	// the epoch: messages the queued link model held back for a later
+	// round, and queued messages dropped because they out-aged the
+	// playout deadline before their cap released them. QueueDepth is the
+	// backlog still waiting at the epoch's end. Under an upload cap these
+	// three separate queue pressure (late bytes) from loss (gone bytes):
+	// a healthy capped epoch defers little and expires nothing; past the
+	// continuity cliff deferral explodes and expiry follows. One boundary
+	// caveat: an interior epoch's Expired includes the round-boundary
+	// drain that opened the next epoch, while the run's final epoch ends
+	// with no trailing drain — backlog that would expire at the next
+	// boundary still sits in its QueueDepth instead.
+	Deferred   uint64 `json:"deferred"`
+	Expired    uint64 `json:"expired"`
+	QueueDepth int    `json:"queue_depth"`
 	// Convictions counts judgments the punishment loop pronounced during
 	// the epoch; Evictions the ones that actually removed a member (a
 	// membership at minimum size cannot shrink), and RejoinRejections the
@@ -334,9 +391,10 @@ type EpochStat struct {
 	RejoinRejections int `json:"rejoin_rejections"`
 }
 
-// EpochStats slices the run into its membership epochs and reports
-// continuity, bandwidth and verdicts per epoch. A static run yields one
-// epoch covering every completed round.
+// EpochStats slices the run into its measurement epochs (membership
+// transitions and scripted queue-cap changes) and reports continuity,
+// bandwidth, queue pressure and verdicts per epoch. A static run yields
+// one epoch covering every completed round.
 func (s *Session) EpochStats() []EpochStat {
 	now := s.engine.Round()
 	if now == 0 {
@@ -349,10 +407,10 @@ func (s *Session) EpochStats() []EpochStat {
 			break // transition scheduled past the last completed round
 		}
 		end := now
-		endTraffic := s.clientTraffic()
+		endMark := s.markAt(now + 1) // the still-open epoch ends "now"
 		if i+1 < len(s.epochMarks) && s.epochMarks[i+1].start <= now {
 			end = s.epochMarks[i+1].start - 1
-			endTraffic = s.epochMarks[i+1].traffic
+			endMark = s.epochMarks[i+1]
 		}
 		members := s.dir.MembersAt(mark.start)
 		st := EpochStat{
@@ -394,10 +452,15 @@ func (s *Session) EpochStats() []EpochStat {
 		clients := len(members) - 1
 		seconds := float64(end-mark.start+1) * model.RoundDurationSeconds
 		if clients > 0 && seconds > 0 {
-			delta := endTraffic.Sub(mark.traffic)
+			delta := endMark.traffic.Sub(mark.traffic)
 			bytes := float64(delta.BytesIn+delta.BytesOut) / 2
 			st.MeanBandwidthKbps = bytes * 8 / 1000 / seconds / float64(clients)
 		}
+
+		// Bandwidth-plane activity over the same window.
+		st.Deferred = endMark.deferred - mark.deferred
+		st.Expired = endMark.expired - mark.expired
+		st.QueueDepth = endMark.queueDepth
 
 		// Verdicts raised while the epoch was current, and the
 		// punishment loop's activity in the same window.

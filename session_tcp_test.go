@@ -30,7 +30,7 @@ func tcpSessionConfig(nodes int) SessionConfig {
 // MemNet report of the same script.
 func TestTCPSessionScenarioReport(t *testing.T) {
 	const nodes = 10
-	sc, err := scenario.ByName("steady-churn", nodes)
+	sc, err := scenario.ByName("steady-churn", nodes, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
