@@ -42,11 +42,16 @@ type sizeResult struct {
 	Nodes           float64 `json:"nodes"`
 	SerialSeconds   float64 `json:"serial_seconds"`
 	ParallelSeconds float64 `json:"parallel_seconds"`
-	// Speedup is omitted (with SpeedupNote explaining why) when the host
-	// cannot physically exhibit one — a single-core box times the worker
-	// pool's overhead, not its parallelism, and a recorded "1.0x" would
-	// misread as "the parallel engine gives no speedup".
+	// Speedup is omitted when the host cannot physically exhibit one — a
+	// single-core box times the worker pool's overhead, not its
+	// parallelism, and a recorded "1.0x" would misread as "the parallel
+	// engine gives no speedup". SpeedupWithheld marks that case machine-
+	// readably, and EffectiveCores records why (min of the report's
+	// num_cpu and gomaxprocs — how many node steps could actually run at
+	// once); SpeedupNote restates it for human readers.
 	Speedup         float64 `json:"speedup,omitempty"`
+	SpeedupWithheld bool    `json:"speedup_withheld,omitempty"`
+	EffectiveCores  int     `json:"effective_cores"`
 	SpeedupNote     string  `json:"speedup_note,omitempty"`
 	RoundsPerSecSer float64 `json:"serial_rounds_per_sec"`
 	RoundsPerSecPar float64 `json:"parallel_rounds_per_sec"`
@@ -210,17 +215,19 @@ func benchSize(nodes, rounds, warmup, stream, modBits, workers int, seed uint64)
 		RoundsPerSecSer: float64(rounds) / serial.Seconds(),
 		RoundsPerSecPar: float64(rounds) / parallel.Seconds(),
 		Identical:       serFP == parFP,
+		EffectiveCores:  effectiveParallelism(),
 	}
 	switch {
 	case !res.Identical:
-	case effectiveParallelism() < 4:
+	case res.EffectiveCores < 4:
 		// Matches the -auto guard: only a host with >= 4 effective cores
 		// records the speedup headline, so a 2-3 core box's marginal
 		// ratio can never freeze itself into the artifact and block the
 		// real multicore re-record.
+		res.SpeedupWithheld = true
 		res.SpeedupNote = fmt.Sprintf(
-			"speedup withheld: %d effective cores (NumCPU=%d, GOMAXPROCS=%d) cannot exhibit representative parallel speedup; re-record on a box with >= 4 cores",
-			effectiveParallelism(), runtime.NumCPU(), runtime.GOMAXPROCS(0))
+			"speedup withheld: %d effective cores cannot exhibit representative parallel speedup; re-record on a box with >= 4 cores",
+			res.EffectiveCores)
 	default:
 		res.Speedup = serial.Seconds() / parallel.Seconds()
 	}

@@ -49,6 +49,7 @@ import (
 	"repro/internal/hhash"
 	"repro/internal/membership"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pki"
 	"repro/internal/scenario"
 	"repro/internal/streaming"
@@ -70,6 +71,7 @@ func run() int {
 		modBits = flag.Int("modulus", 128, "homomorphic modulus bits (512 for paper-faithful)")
 		scFlag  = flag.String("scenario", "", "scripted timeline: canned scenario name or JSON file (all processes must pass the same value)")
 		members = flag.Int("members", 0, "founding member count: the lowest ids of the roster (0 = all; the rest are standby joiners for the scenario)")
+		metrics = flag.String("metrics", "", "serve this process's live metrics on this address (Prometheus /metrics, JSON /metrics.json, pprof /debug/pprof/; port 0 picks one)")
 	)
 	flag.Parse()
 	if *id == 0 || *roster == "" {
@@ -119,7 +121,7 @@ func run() int {
 		}
 	}
 
-	if err := runNode(self, book, *rounds, *stream, *period, *seed, *modBits, sc, founding); err != nil {
+	if err := runNode(self, book, *rounds, *stream, *period, *seed, *modBits, sc, founding, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "pag-node:", err)
 		return 1
 	}
@@ -151,7 +153,8 @@ func loadScenario(nameOrPath string, rosterSize, streamKbps int, seed uint64) (s
 
 // runNode assembles and drives one TCP node to completion.
 func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps int,
-	period time.Duration, seed uint64, modBits int, sc *scenario.Scenario, founding int) error {
+	period time.Duration, seed uint64, modBits int, sc *scenario.Scenario, founding int,
+	metricsAddr string) error {
 	ids := make([]model.NodeID, 0, len(book))
 	for id := range book {
 		ids = append(ids, id)
@@ -159,10 +162,24 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	foundingIDs, standby := ids[:founding], ids[founding:]
 
+	// The metrics endpoint is per-process: each node of the deployment
+	// serves its own view (a nil registry disables instrumentation).
+	var reg *obs.Registry
+	if metricsAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("[%v] metrics on http://%s/metrics\n", self, srv.Addr())
+	}
+
 	dir, err := membership.New(foundingIDs, membership.Config{
 		Seed:     seed,
 		Fanout:   model.FanoutFor(len(foundingIDs)),
 		Monitors: model.FanoutFor(len(foundingIDs)),
+		Metrics:  reg,
 	})
 	if err != nil {
 		return err
@@ -190,6 +207,7 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 	}
 
 	net := transport.NewTCPNet(book)
+	net.Faults().Instrument(reg, nil)
 	// The link queues' expiry deadline follows the deployment's playout
 	// window — the TTL its source streams with (NewSource defaults to
 	// model.PlayoutDelayRounds) — mirroring how a simulated session pins
@@ -201,6 +219,7 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 	d := &deployment{
 		self:       self,
 		net:        net,
+		reg:        reg,
 		dir:        dir,
 		suite:      suite,
 		identities: identities,
@@ -304,6 +323,7 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 type deployment struct {
 	self       model.NodeID
 	net        *transport.TCPNet
+	reg        *obs.Registry // nil without -metrics
 	dir        *membership.Directory
 	suite      pki.Suite
 	identities map[model.NodeID]pki.Identity
@@ -348,6 +368,7 @@ func (d *deployment) activate() error {
 		Sources:    []model.NodeID{1},
 		IsSource:   d.self == 1,
 		PrimeBits:  d.modBits,
+		Metrics:    d.reg,
 		OnDeliver:  d.player.OnDeliver,
 		Verdicts: func(v core.Verdict) {
 			fmt.Printf("[%v] VERDICT %v\n", d.self, v)

@@ -10,6 +10,7 @@
 //	pag-scenario -file myscenario.json -seed 9 > report.json
 //	pag-scenario -scenario steady-churn -net tcp   # same script over loopback sockets
 //	pag-scenario -scenario flash-crowd -dump       # print the script, don't run
+//	pag-scenario -scenario flash-crowd -metrics 127.0.0.1:0 -linger 30s
 //	pag-scenario -list
 //
 // Canned scenarios: flash-crowd, steady-churn, transient-partition,
@@ -33,6 +34,15 @@
 // runs every node of the session over real loopback sockets with the same
 // fault plane applied on the wire path (statistically equivalent, not
 // byte-identical; the report's engine metadata records the transport).
+//
+// -metrics serves the observability plane live while the run executes:
+// Prometheus text exposition on /metrics, a JSON snapshot on
+// /metrics.json, the deterministic-class rendering on /metrics.det, and
+// net/http/pprof under /debug/pprof/. The bound address is printed to
+// stderr (pass port 0 for an ephemeral port); -linger keeps the endpoint
+// up after the run so a scraper gets a final read. -trace writes the
+// structured round-event log (JSONL) to a file. Neither flag perturbs
+// the report: metrics and traces sit outside the determinism boundary.
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"time"
 
 	pag "repro"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/transport"
 )
@@ -66,8 +77,11 @@ func run() int {
 		threshold = flag.Int("threshold", 1, "verdict count that counts as a conviction")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"round-engine workers (0 = serial engine; results are byte-identical either way; forced 0 with -net tcp)")
-		dump = flag.Bool("dump", false, "print the scenario JSON instead of running it")
-		list = flag.Bool("list", false, "list canned scenarios")
+		dump    = flag.Bool("dump", false, "print the scenario JSON instead of running it")
+		list    = flag.Bool("list", false, "list canned scenarios")
+		metrics = flag.String("metrics", "", "serve live metrics on this address (e.g. 127.0.0.1:9100; port 0 picks one): Prometheus text on /metrics, JSON on /metrics.json, pprof on /debug/pprof/")
+		trace   = flag.String("trace", "", "write the structured round-event trace (JSONL) to this file")
+		linger  = flag.Duration("linger", 0, "keep the -metrics endpoint up this long after the run (scrape window)")
 	)
 	flag.Parse()
 	if *scName == "" {
@@ -122,6 +136,28 @@ func run() int {
 		Seed:        *seed,
 		Workers:     *workers,
 	}
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		cfg.Obs = reg
+		srv, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pag-scenario: metrics:", err)
+			return 1
+		}
+		defer srv.Close()
+		// The bound address goes to stderr (the report owns stdout) so
+		// `-metrics 127.0.0.1:0` callers learn the picked port.
+		fmt.Fprintf(os.Stderr, "pag-scenario: metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pag-scenario: trace:", err)
+			return 1
+		}
+		defer f.Close()
+		cfg.Trace = obs.NewTracer(f)
+	}
 	switch strings.ToLower(*netKind) {
 	case "mem", "":
 	case "tcp":
@@ -147,6 +183,9 @@ func run() int {
 		return 1
 	}
 	os.Stdout.Write(report.JSON())
+	if *metrics != "" && *linger > 0 {
+		time.Sleep(*linger)
+	}
 	return 0
 }
 

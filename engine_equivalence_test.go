@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -26,8 +27,13 @@ func equivalenceBase(nodes int) SessionConfig {
 	}
 }
 
-// runCanned runs one canned scenario on the given engine configuration.
-func runCanned(t *testing.T, name string, nodes, workers int) ScenarioReport {
+// runCanned runs one canned scenario on the given engine configuration
+// with a fresh observability registry attached, returning the report and
+// the registry's deterministic snapshot rendering. Instrumentation on is
+// the harder determinism case — the engines, fault plane, membership,
+// judicial registry and nodes all count events while the report is
+// produced — so the equivalence gate runs with it always enabled.
+func runCanned(t *testing.T, name string, nodes, workers int) (ScenarioReport, string) {
 	t.Helper()
 	sc, err := scenario.ByName(name, nodes, 2)
 	if err != nil {
@@ -36,11 +42,12 @@ func runCanned(t *testing.T, name string, nodes, workers int) ScenarioReport {
 	sc.Seed = 7
 	base := equivalenceBase(nodes)
 	base.Workers = workers
+	base.Obs = obs.NewRegistry()
 	r, err := RunScenarioReport(base, sc, nil, 1)
 	if err != nil {
 		t.Fatalf("%s at workers=%d: %v", name, workers, err)
 	}
-	return r
+	return r, base.Obs.Snapshot().DeterministicText()
 }
 
 // TestEngineEquivalenceAllScenarios: every canned scenario (capacity-cliff
@@ -60,13 +67,13 @@ func TestEngineEquivalenceAllScenarios(t *testing.T) {
 		workerCounts = []int{4}
 	}
 	for _, name := range names {
-		serial := runCanned(t, name, nodes, 0)
+		serial, serialObs := runCanned(t, name, nodes, 0)
 		if serial.Engine == nil || serial.Engine.Kind != "serial" || serial.Engine.Workers != 1 {
 			t.Fatalf("%s: serial engine metadata %+v", name, serial.Engine)
 		}
 		want := strippedJSON(serial)
 		for _, w := range workerCounts {
-			parallel := runCanned(t, name, nodes, w)
+			parallel, parallelObs := runCanned(t, name, nodes, w)
 			if parallel.Engine == nil || parallel.Engine.Kind != "parallel" || parallel.Engine.Workers != w {
 				t.Fatalf("%s: parallel engine metadata %+v", name, parallel.Engine)
 			}
@@ -81,6 +88,13 @@ func TestEngineEquivalenceAllScenarios(t *testing.T) {
 			if parallel.Engine.ReportDigest != serial.Engine.ReportDigest {
 				t.Errorf("%s: recorded report_digest differs at workers=%d", name, w)
 			}
+			// The deterministic obs snapshot — every counter, gauge and
+			// timed-event count, wall-clock durations excluded — is part
+			// of the byte-identical contract too.
+			if parallelObs != serialObs {
+				t.Errorf("%s: deterministic obs snapshot at workers=%d differs from the serial engine's\nserial:\n%s\nparallel:\n%s",
+					name, w, serialObs, parallelObs)
+			}
 		}
 	}
 }
@@ -88,7 +102,7 @@ func TestEngineEquivalenceAllScenarios(t *testing.T) {
 // TestDigestExcludesEngineMetadata: mutating the Engine block must not
 // move the digest, and the digest must match the recorded one.
 func TestDigestExcludesEngineMetadata(t *testing.T) {
-	r := runCanned(t, "steady-churn", 10, 0)
+	r, _ := runCanned(t, "steady-churn", 10, 0)
 	d := r.Digest()
 	if r.Engine.ReportDigest != d {
 		t.Fatalf("recorded digest %s != computed %s", r.Engine.ReportDigest, d)

@@ -34,6 +34,7 @@ import (
 	"repro/internal/judicial"
 	"repro/internal/membership"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pki"
 	"repro/internal/transport"
 	"repro/internal/update"
@@ -223,6 +224,16 @@ type Config struct {
 	// the rotation-round forwarding-check gap, kept for regression tests
 	// that document the exploit.
 	NoObligationHandover bool
+	// Metrics optionally attaches the observability registry: received
+	// wire-message counters per kind (the §V-A exchange and Fig 6
+	// monitoring phases) and the hhash timing histograms (the Fig 9
+	// profiling hook). Counters are session-wide aggregates — nodes
+	// share the registry's instruments, and commutative atomic adds keep
+	// the totals deterministic at any worker count.
+	Metrics *obs.Registry
+	// Trace optionally attaches the round-event tracer (exchange-open
+	// events); may be nil.
+	Trace *obs.Tracer
 	// Verdicts receives proofs of misbehaviour; may be nil.
 	Verdicts func(Verdict)
 	// OnDeliver receives playback-ready updates; may be nil.

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/hhash"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pki"
 	"repro/internal/transport"
 	"repro/internal/update"
@@ -130,7 +131,17 @@ type Node struct {
 	mon *monitorState
 
 	stats Stats
+
+	// msgK holds the shared per-kind received-message counters (nil
+	// entries without a registry — Inc no-ops); trace is the optional
+	// round-event tracer.
+	msgK  [maxWireKind + 1]*obs.Counter
+	trace *obs.Tracer
 }
+
+// maxWireKind bounds the per-kind counter table (wire kinds are 1-based
+// and dense).
+const maxWireKind = wire.KindObligationHandover
 
 // NewNode builds a PAG node from a validated Config.
 func NewNode(cfg Config) (*Node, error) {
@@ -159,6 +170,16 @@ func NewNode(cfg Config) (*Node, error) {
 		kPrev:       hhash.OneKey(),
 	}
 	n.hasher = hhash.NewHasher(cfg.HashParams, &n.hops)
+	if cfg.Metrics != nil {
+		for k := uint8(1); k <= maxWireKind; k++ {
+			n.msgK[k] = cfg.Metrics.Counter("pag_core_messages_total",
+				obs.L("kind", wire.KindName(k)))
+		}
+		n.hasher.Instrument(
+			cfg.Metrics.Histogram("pag_hhash_lift_seconds", obs.ClassTimed, nil),
+			cfg.Metrics.Histogram("pag_hhash_verify_seconds", obs.ClassTimed, nil))
+	}
+	n.trace = cfg.Trace
 	n.mon = newMonitorState(n)
 	return n, nil
 }
@@ -303,6 +324,10 @@ func (n *Node) BeginRound(r model.Round) {
 		req := &wire.KeyRequest{Round: r, From: n.id, To: succ}
 		n.signAndSend(succ, req)
 	}
+	if n.trace != nil {
+		n.trace.Emit("exchange_open", obs.F("round", r), obs.F("node", n.id),
+			obs.F("successors", len(succs)), obs.F("items", len(items)))
+	}
 
 	// Replay messages of this round that arrived before the rotation
 	// (normal phase skew over a real network).
@@ -386,6 +411,9 @@ func (n *Node) CloseRound(r model.Round) {
 func (n *Node) HandleMessage(msg transport.Message) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if msg.Kind <= maxWireKind {
+		n.msgK[msg.Kind].Inc()
+	}
 
 	// Round gating only applies to the round-synchronous exchange
 	// messages; monitor messages carry their round in-band and are keyed

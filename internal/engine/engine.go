@@ -40,8 +40,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/transport"
@@ -62,6 +64,18 @@ type Engine struct {
 	net     *transport.MemNet
 	workers int
 	round   model.Round
+
+	// Observability (nil without a registry). Rounds and deliveries are
+	// deterministic counts under the same metric names as the serial
+	// engine; round durations are ClassTimed (deterministic count,
+	// wall-clock buckets); shard durations and merge-barrier stalls are
+	// ClassSched — their very observation count depends on the worker
+	// count, so they are excluded from deterministic snapshots entirely.
+	roundsC     *obs.Counter
+	deliveriesC *obs.Counter
+	roundSpans  *obs.Histogram
+	shardSpans  *obs.Histogram
+	stallSpans  *obs.Histogram
 }
 
 var _ sim.Stepper = (*Engine)(nil)
@@ -77,6 +91,15 @@ func New(net *transport.MemNet, workers int) *Engine {
 
 // Workers returns the worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// Instrument attaches the observability registry (nil is a no-op).
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.roundsC = reg.Counter("pag_engine_rounds_total")
+	e.deliveriesC = reg.Counter("pag_engine_deliveries_total")
+	e.roundSpans = reg.Histogram("pag_engine_round_seconds", obs.ClassTimed, nil)
+	e.shardSpans = reg.Histogram("pag_engine_shard_seconds", obs.ClassSched, nil)
+	e.stallSpans = reg.Histogram("pag_engine_barrier_stall_seconds", obs.ClassSched, nil)
+}
 
 // Round returns the last completed round (0 before the first).
 func (e *Engine) Round() model.Round { return e.round }
@@ -99,22 +122,49 @@ func (e *Engine) shardNodes() [][]sim.Protocol {
 }
 
 // phase fans one phase step out across the shards and barriers on
-// completion.
+// completion. When instrumented it records each shard's step duration
+// and its stall — the time the shard then spent parked at the merge
+// barrier waiting for the slowest sibling (load-imbalance visibility for
+// the Fig 9 scaling work). Timing is recorded after the barrier, off the
+// workers' critical path.
 func (e *Engine) phase(shards [][]sim.Protocol, step func(sim.Protocol)) {
+	timed := e.shardSpans != nil
+	var phaseStart time.Time
+	var durs []time.Duration
+	if timed {
+		phaseStart = time.Now()
+		durs = make([]time.Duration, len(shards))
+	}
 	var wg sync.WaitGroup
-	for _, shard := range shards {
+	for i, shard := range shards {
 		if len(shard) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(ns []sim.Protocol) {
+		go func(i int, ns []sim.Protocol) {
 			defer wg.Done()
+			var start time.Time
+			if timed {
+				start = time.Now()
+			}
 			for _, n := range ns {
 				step(n)
 			}
-		}(shard)
+			if timed {
+				durs[i] = time.Since(start)
+			}
+		}(i, shard)
 	}
 	wg.Wait()
+	if timed {
+		total := time.Since(phaseStart)
+		for _, d := range durs {
+			if d > 0 {
+				e.shardSpans.Observe(d.Seconds())
+				e.stallSpans.Observe((total - d).Seconds())
+			}
+		}
+	}
 }
 
 // deliverAll drains delivery waves until quiescence, sharing the serial
@@ -157,20 +207,25 @@ func (e *Engine) deliverAll() int {
 // run single-threaded at the round top; each phase then fans out across
 // the shards and merges at its barrier.
 func (e *Engine) RunRound() {
+	span := e.roundSpans.SpanStart()
 	r := e.round + 1
 	e.net.BeginRound()
 	e.OpenRound(r)
 	shards := e.shardNodes()
+	delivered := 0
 	e.phase(shards, func(n sim.Protocol) { n.BeginRound(r) })
-	e.deliverAll()
+	delivered += e.deliverAll()
 	e.phase(shards, func(n sim.Protocol) { n.MidRound(r) })
-	e.deliverAll()
+	delivered += e.deliverAll()
 	e.phase(shards, func(n sim.Protocol) { n.EndRound(r) })
-	e.deliverAll()
+	delivered += e.deliverAll()
 	e.phase(shards, func(n sim.Protocol) { n.CloseRound(r) })
-	e.deliverAll()
+	delivered += e.deliverAll()
 	e.round = r
 	e.meter.RoundDone()
+	e.roundsC.Inc()
+	e.deliveriesC.Add(uint64(delivered))
+	e.roundSpans.SpanEnd(span)
 }
 
 // Run advances n rounds.

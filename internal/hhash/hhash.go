@@ -26,6 +26,8 @@ import (
 	"io"
 	"math/big"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // DefaultModulusBits is the paper's modulus size (§VII-A).
@@ -228,11 +230,27 @@ func (c *Counter) Reset() {
 type Hasher struct {
 	params Params
 	ops    *Counter
+
+	// liftSpans / verifySpans optionally time the two hot operations —
+	// the Fig 9 profiling hook (lifted-hash modexp dominates PAG's CPU
+	// cost). Nil histograms (the default) cost one branch per call. The
+	// span *counts* are deterministic — one per Lift/VerifyForwarding
+	// call — while the recorded durations are wall-clock, which is why
+	// the histograms are registered as obs.ClassTimed.
+	liftSpans   *obs.Histogram
+	verifySpans *obs.Histogram
 }
 
 // NewHasher builds a Hasher; ops may be nil if counting is not needed.
 func NewHasher(params Params, ops *Counter) *Hasher {
 	return &Hasher{params: params, ops: ops}
+}
+
+// Instrument attaches timing histograms to the lifted-hash and
+// forwarding-verification hot paths (either may be nil).
+func (h *Hasher) Instrument(lift, verify *obs.Histogram) {
+	h.liftSpans = lift
+	h.verifySpans = verify
 }
 
 // Params returns the hasher's parameters.
@@ -266,7 +284,10 @@ func (h *Hasher) Lift(v *big.Int, key Key) *big.Int {
 	if h.ops != nil {
 		h.ops.hashOps.Add(1)
 	}
-	return new(big.Int).Exp(v, key.e, h.params.m)
+	span := h.liftSpans.SpanStart()
+	out := new(big.Int).Exp(v, key.e, h.params.m)
+	h.liftSpans.SpanEnd(span)
+	return out
 }
 
 // Combine multiplies two hash values mod M — the homomorphic combination of
@@ -330,11 +351,13 @@ func (h *Hasher) VerifyForwarding(attestations []*big.Int, remainders []Key, ack
 		return false, fmt.Errorf("hhash: %d attestations but %d remainders",
 			len(attestations), len(remainders))
 	}
+	span := h.verifySpans.SpanStart()
 	acc := h.Identity()
 	for j, att := range attestations {
 		lifted := h.Lift(att, remainders[j])
 		acc = h.Combine(acc, lifted)
 	}
+	h.verifySpans.SpanEnd(span)
 	return acc.Cmp(ackHash) == 0, nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Key is the dedupe identity of one piece of evidence. Repeated reports of
@@ -86,6 +87,14 @@ type Registry struct {
 	records []Record
 	counts  map[model.NodeID]int
 	dupes   uint64
+
+	// Observability (nil without a registry). Fact and duplicate totals
+	// are deterministic — the deduplicated fact set is submission-order
+	// independent, and so is the duplicate count (every submission is
+	// either the first for its key or not, regardless of interleaving).
+	factsC *obs.Counter
+	dupesC *obs.Counter
+	trace  *obs.Tracer
 }
 
 // NewRegistry creates an empty registry.
@@ -96,6 +105,17 @@ func NewRegistry() *Registry {
 	}
 }
 
+// Instrument attaches the observability registry and tracer (either may
+// be nil): deduplicated fact and dropped-duplicate counters, plus one
+// "verdict" trace event per new fact.
+func (reg *Registry) Instrument(m *obs.Registry, tr *obs.Tracer) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.factsC = m.Counter("pag_judicial_facts_total")
+	reg.dupesC = m.Counter("pag_judicial_duplicates_total")
+	reg.trace = tr
+}
+
 // Submit registers one piece of evidence, reporting whether it was a new
 // fact (false: a duplicate of an already-registered key, dropped).
 func (reg *Registry) Submit(e Evidence) bool {
@@ -104,6 +124,7 @@ func (reg *Registry) Submit(e Evidence) bool {
 	defer reg.mu.Unlock()
 	if _, dup := reg.seen[k]; dup {
 		reg.dupes++
+		reg.dupesC.Inc()
 		return false
 	}
 	reg.seen[k] = struct{}{}
@@ -113,6 +134,12 @@ func (reg *Registry) Submit(e Evidence) bool {
 		Evidence: e,
 	})
 	reg.counts[k.Accused]++
+	reg.factsC.Inc()
+	if reg.trace != nil {
+		reg.trace.Emit("verdict", obs.F("round", k.Round),
+			obs.F("accused", k.Accused), obs.F("accuser", k.Accuser),
+			obs.F("kind", k.Kind))
+	}
 	return true
 }
 

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // DefaultMonitorRotationRounds is how often monitor sets are re-drawn.
@@ -42,6 +43,14 @@ type Config struct {
 	// MonitorRotationRounds re-draws monitor sets every given number of
 	// rounds; 0 keeps them static.
 	MonitorRotationRounds int
+	// Metrics optionally attaches the observability registry: epoch
+	// transitions, joins, leaves, evictions and quarantine rejections
+	// are counted, and the current member count is a gauge (membership
+	// mutations happen single-threaded at round tops, which is what the
+	// gauge's determinism contract requires).
+	Metrics *obs.Registry
+	// Trace optionally attaches the round-event tracer; may be nil.
+	Trace *obs.Tracer
 }
 
 // epoch is one immutable membership snapshot: the member set in effect
@@ -76,6 +85,15 @@ type Directory struct {
 	// round — the membership half of the accountability plane's
 	// punishment loop (Evict).
 	quarantine map[model.NodeID]model.Round
+
+	// Observability instruments (nil without a registry).
+	epochsC     *obs.Counter
+	joinsC      *obs.Counter
+	leavesC     *obs.Counter
+	evictionsC  *obs.Counter
+	rejectionsC *obs.Counter
+	membersG    *obs.Gauge
+	trace       *obs.Tracer
 }
 
 // QuarantineError rejects a Join of an id still serving an eviction
@@ -132,13 +150,25 @@ func New(nodes []model.NodeID, cfg Config) (*Directory, error) {
 		return nil, fmt.Errorf("membership: monitor count %d must be < system size %d",
 			cfg.Monitors, len(sorted))
 	}
-	return &Directory{
-		cfg:        cfg,
-		epochs:     []*epoch{newEpoch(0, 0, sorted)},
-		views:      make(map[model.Round]*RoundView),
-		monitors:   make(map[monKey][]model.NodeID),
-		quarantine: make(map[model.NodeID]model.Round),
-	}, nil
+	d := &Directory{
+		cfg:         cfg,
+		epochs:      []*epoch{newEpoch(0, 0, sorted)},
+		views:       make(map[model.Round]*RoundView),
+		monitors:    make(map[monKey][]model.NodeID),
+		quarantine:  make(map[model.NodeID]model.Round),
+		epochsC:     cfg.Metrics.Counter("pag_membership_epochs_total"),
+		joinsC:      cfg.Metrics.Counter("pag_membership_joins_total"),
+		leavesC:     cfg.Metrics.Counter("pag_membership_leaves_total"),
+		evictionsC:  cfg.Metrics.Counter("pag_membership_evictions_total"),
+		rejectionsC: cfg.Metrics.Counter("pag_membership_quarantine_rejections_total"),
+		membersG:    cfg.Metrics.Gauge("pag_membership_members"),
+		trace:       cfg.Trace,
+	}
+	// The founding epoch counts like any other: epochs_total is the
+	// number of epochs the directory has held, not just transitions.
+	d.epochsC.Inc()
+	d.membersG.Set(int64(len(sorted)))
+	return d, nil
 }
 
 func newEpoch(seq int, start model.Round, sorted []model.NodeID) *epoch {
@@ -173,6 +203,11 @@ func (d *Directory) Join(id model.NodeID, from model.Round) error {
 	defer d.mu.Unlock()
 	if until, barred := d.quarantine[id]; barred {
 		if from < until {
+			d.rejectionsC.Inc()
+			if d.trace != nil {
+				d.trace.Emit("membership_quarantine_rejection",
+					obs.F("round", from), obs.F("node", id), obs.F("until", until))
+			}
 			return &QuarantineError{Node: id, Until: until}
 		}
 		// Quarantine served: the id may re-enter.
@@ -191,6 +226,7 @@ func (d *Directory) Join(id model.NodeID, from model.Round) error {
 	grown = append(grown, id)
 	sort.Slice(grown, func(i, j int) bool { return grown[i] < grown[j] })
 	d.pushEpoch(from, grown)
+	d.joinsC.Inc()
 	return nil
 }
 
@@ -200,7 +236,11 @@ func (d *Directory) Join(id model.NodeID, from model.Round) error {
 func (d *Directory) Leave(id model.NodeID, from model.Round) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.remove(id, from)
+	if err := d.remove(id, from); err != nil {
+		return err
+	}
+	d.leavesC.Inc()
+	return nil
 }
 
 // Evict removes a member like Leave and additionally quarantines its id:
@@ -216,6 +256,11 @@ func (d *Directory) Evict(id model.NodeID, from, until model.Round) error {
 	}
 	if until > from {
 		d.quarantine[id] = until
+	}
+	d.evictionsC.Inc()
+	if d.trace != nil {
+		d.trace.Emit("membership_eviction",
+			obs.F("round", from), obs.F("node", id), obs.F("quarantine_until", until))
 	}
 	return nil
 }
@@ -264,6 +309,12 @@ func (d *Directory) pushEpoch(from model.Round, sorted []model.NodeID) {
 		if r >= from {
 			delete(d.views, r)
 		}
+	}
+	d.epochsC.Inc()
+	d.membersG.Set(int64(len(sorted)))
+	if d.trace != nil {
+		d.trace.Emit("membership_epoch", obs.F("seq", len(d.epochs)-1),
+			obs.F("start", from), obs.F("members", len(sorted)))
 	}
 }
 

@@ -1,0 +1,42 @@
+// Command promlint validates a Prometheus text-exposition file with
+// obs.ValidateExposition — the CI metrics-smoke job's scrape checker.
+// It exits nonzero with the first malformation found.
+//
+// Usage:
+//
+//	promlint exposition.txt
+//	curl -s http://127.0.0.1:9100/metrics | promlint -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: promlint <file|->")
+		os.Exit(2)
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if os.Args[1] == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	if err := obs.ValidateExposition(data); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %s ok (%d bytes)\n", os.Args[1], len(data))
+}

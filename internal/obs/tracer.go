@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Tracer emits a structured JSONL journal of round events: one JSON
+// object per line, fields in call-site order, a monotonic sequence
+// number first. It sits outside the determinism boundary — events from
+// worker goroutines interleave in wall-clock order — and outside the
+// report digest; it is a debugging and analysis artifact, not a result.
+//
+// A nil *Tracer is the disabled state: Emit on nil is a one-branch
+// no-op, so instrumentation points need no configuration plumbing beyond
+// the pointer itself. Hot paths that would allocate a field slice should
+// still gate on Enabled().
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq uint64
+	err error
+}
+
+// Field is one key/value of a trace event.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F is shorthand for constructing a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// NewTracer creates a tracer writing JSONL to w.
+func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+// Enabled reports whether the tracer records anything — the hot-path
+// gate for call sites that build field slices.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit writes one event line: {"seq":N,"event":"...",fields...}.
+// Writes are serialized; a write error latches and silences the tracer
+// (tracing must never take a run down).
+func (t *Tracer) Emit(event string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	var b strings.Builder
+	b.WriteString(`{"seq":`)
+	b.WriteString(strconv.FormatUint(t.seq, 10))
+	b.WriteString(`,"event":`)
+	b.WriteString(quoteJSON(event))
+	for _, f := range fields {
+		b.WriteByte(',')
+		b.WriteString(quoteJSON(f.Key))
+		b.WriteByte(':')
+		v, err := json.Marshal(f.Value)
+		if err != nil {
+			v = []byte(quoteJSON(fmt.Sprint(f.Value)))
+		}
+		b.Write(v)
+	}
+	b.WriteString("}\n")
+	if _, err := io.WriteString(t.w, b.String()); err != nil {
+		t.err = err
+	}
+}
+
+// Err returns the latched write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// quoteJSON renders a string as a JSON string literal.
+func quoteJSON(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `"?"`
+	}
+	return string(b)
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
@@ -246,11 +247,27 @@ type Engine struct {
 	meter Meter
 	net   transport.SteppedNetwork
 	round model.Round
+
+	// Observability (nil without a registry): completed rounds and
+	// handler deliveries are deterministic counts shared by both round
+	// engines under the same metric names, so serial and parallel runs
+	// of the same seed snapshot identically; the round-duration
+	// histogram is wall-clock (ClassTimed).
+	roundsC     *obs.Counter
+	deliveriesC *obs.Counter
+	roundSpans  *obs.Histogram
 }
 
 // NewEngine creates an engine over a stepped network.
 func NewEngine(net transport.SteppedNetwork) *Engine {
 	return &Engine{net: net, meter: NewMeter(net)}
+}
+
+// Instrument attaches the observability registry (nil is a no-op).
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.roundsC = reg.Counter("pag_engine_rounds_total")
+	e.deliveriesC = reg.Counter("pag_engine_deliveries_total")
+	e.roundSpans = reg.Histogram("pag_engine_round_seconds", obs.ClassTimed, nil)
 }
 
 // Round returns the last completed round (0 before the first).
@@ -259,27 +276,32 @@ func (e *Engine) Round() model.Round { return e.round }
 // RunRound advances one round through the four phases, delivering all
 // pending traffic between phases.
 func (e *Engine) RunRound() {
+	span := e.roundSpans.SpanStart()
 	r := e.round + 1
 	e.net.BeginRound()
 	e.OpenRound(r)
+	delivered := 0
 	for _, n := range e.Members() {
 		n.BeginRound(r)
 	}
-	e.net.DeliverAll()
+	delivered += e.net.DeliverAll()
 	for _, n := range e.Members() {
 		n.MidRound(r)
 	}
-	e.net.DeliverAll()
+	delivered += e.net.DeliverAll()
 	for _, n := range e.Members() {
 		n.EndRound(r)
 	}
-	e.net.DeliverAll()
+	delivered += e.net.DeliverAll()
 	for _, n := range e.Members() {
 		n.CloseRound(r)
 	}
-	e.net.DeliverAll()
+	delivered += e.net.DeliverAll()
 	e.round = r
 	e.meter.RoundDone()
+	e.roundsC.Inc()
+	e.deliveriesC.Add(uint64(delivered))
+	e.roundSpans.SpanEnd(span)
 }
 
 // Run advances n rounds.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // This file is the transport-agnostic fault plane: the schedulable network
@@ -99,6 +100,27 @@ type FaultPlane struct {
 	dropped  uint64
 	deferred uint64
 	expired  uint64
+
+	// o mirrors the counters above into the observability plane (nil
+	// instruments when no registry is attached — every call no-ops).
+	// Because both MemNet and TCPNet route every admission through this
+	// plane, the deterministic fault counters agree exactly across
+	// transports for the same per-sender send sequence, which is what
+	// the mem/tcp snapshot-parity test asserts.
+	o planeObs
+}
+
+// planeObs holds the fault plane's observability instruments. All are
+// ClassDet: admission outcomes are pure functions of budgets, ages and
+// the seeded PRNG, never of scheduling.
+type planeObs struct {
+	admitted *obs.Counter
+	dropped  *obs.Counter
+	deferred *obs.Counter
+	released *obs.Counter
+	expired  *obs.Counter
+	depth    *obs.Gauge
+	trace    *obs.Tracer
 }
 
 // faultSeedMix is the PRNG whitening constant shared by seeded and default
@@ -114,6 +136,27 @@ func NewFaultPlane() *FaultPlane {
 		spent:    make(map[model.NodeID]uint64),
 		queues:   make(map[model.NodeID][]queuedMsg),
 		deadline: DefaultQueueDeadlineRounds,
+	}
+}
+
+// Instrument attaches the observability plane: registry counters
+// mirroring every admission outcome (unlike the resettable legacy
+// counters they are cumulative for the plane's lifetime), a
+// current-backlog gauge updated at each BeginRound, and per-message
+// defer/expire trace events. Either argument may be nil; the obs counter
+// names use the canonical Deferred/CapExpired vocabulary, not the
+// deprecated CapDrops alias.
+func (p *FaultPlane) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.o = planeObs{
+		admitted: reg.Counter("pag_net_admitted_total"),
+		dropped:  reg.Counter("pag_net_dropped_total"),
+		deferred: reg.Counter("pag_net_deferred_total"),
+		released: reg.Counter("pag_net_released_total"),
+		expired:  reg.Counter("pag_net_expired_total"),
+		depth:    reg.Gauge("pag_net_queue_depth"),
+		trace:    tr,
 	}
 }
 
@@ -191,6 +234,7 @@ func (p *FaultPlane) SetNodeDown(id model.NodeID, isDown bool) {
 	if isDown {
 		if q := p.queues[id]; len(q) > 0 {
 			p.dropped += uint64(len(q))
+			p.o.dropped.Add(uint64(len(q)))
 			delete(p.queues, id)
 		}
 	}
@@ -249,6 +293,7 @@ func (p *FaultPlane) BeginRound() (released []Message) {
 	p.round++
 	p.spent = make(map[model.NodeID]uint64, len(p.spent))
 	if len(p.queues) == 0 {
+		p.o.depth.Set(0)
 		return nil
 	}
 	ids := make([]model.NodeID, 0, len(p.queues))
@@ -270,6 +315,14 @@ func (p *FaultPlane) BeginRound() (released []Message) {
 			}
 			p.expired++
 			p.dropped++
+			p.o.expired.Inc()
+			p.o.dropped.Inc()
+			if p.o.trace != nil {
+				m := q[i].msg
+				p.o.trace.Emit("net_expire", obs.F("round", p.round),
+					obs.F("from", m.From), obs.F("to", m.To),
+					obs.F("kind", m.Kind), obs.F("queued_round", q[i].round))
+			}
 		}
 		q = q[i:]
 		// Release in FIFO order while the fresh budget lasts. A removed
@@ -294,6 +347,16 @@ func (p *FaultPlane) BeginRound() (released []Message) {
 		} else {
 			p.queues[id] = rest
 		}
+	}
+	p.o.released.Add(uint64(len(released)))
+	depth := 0
+	for _, q := range p.queues {
+		depth += len(q)
+	}
+	p.o.depth.Set(int64(depth))
+	if p.o.trace != nil && (len(released) > 0 || depth > 0) {
+		p.o.trace.Emit("net_release", obs.F("round", p.round),
+			obs.F("released", len(released)), obs.F("backlog", depth))
 	}
 	return released
 }
@@ -352,6 +415,33 @@ func (p *FaultPlane) QueueDepthOf(id model.NodeID) int {
 	return len(p.queues[id])
 }
 
+// QueueBacklog is one node's current upload-queue depth — the per-node
+// resolution of QueueDepth, so reports can name the hotspot instead of
+// only sizing the aggregate backlog.
+type QueueBacklog struct {
+	Node  model.NodeID `json:"node"`
+	Depth int          `json:"depth"`
+}
+
+// QueueBacklogs returns the nodes with non-empty upload queues in
+// ascending id order. The deterministic ordering makes the slice safe to
+// embed in byte-compared reports.
+func (p *FaultPlane) QueueBacklogs() []QueueBacklog {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queues) == 0 {
+		return nil
+	}
+	out := make([]QueueBacklog, 0, len(p.queues))
+	for id, q := range p.queues {
+		if len(q) > 0 {
+			out = append(out, QueueBacklog{Node: id, Depth: len(q)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
 // Admit runs one outbound message through the plane — upload cap/queue,
 // drop predicate, down nodes, partition, uniform and per-link loss, in
 // that fixed order (the order every PRNG draw depends on) — updates the
@@ -386,6 +476,7 @@ func (p *FaultPlane) admit(msg Message, ownsPayload bool) Outcome {
 			_ = p.drop(msg)
 		}
 		p.dropped++
+		p.o.dropped.Inc()
 		return OutcomeDropped
 	}
 	// FIFO pacing: while anything is queued, later messages wait behind
@@ -407,12 +498,15 @@ func (p *FaultPlane) admit(msg Message, ownsPayload bool) Outcome {
 	p.spent[msg.From] += size
 	if p.drop != nil && p.drop(msg) {
 		p.dropped++
+		p.o.dropped.Inc()
 		return OutcomeDropped
 	}
 	if p.faultDrop(msg) {
 		p.dropped++
+		p.o.dropped.Inc()
 		return OutcomeDropped
 	}
+	p.o.admitted.Inc()
 	return OutcomePass
 }
 
@@ -427,6 +521,13 @@ func (p *FaultPlane) enqueue(msg Message, ownsPayload bool) {
 	}
 	p.queues[msg.From] = append(p.queues[msg.From], queuedMsg{msg: msg, round: p.round})
 	p.deferred++
+	p.o.deferred.Inc()
+	if p.o.trace != nil {
+		p.o.trace.Emit("net_defer", obs.F("round", p.round),
+			obs.F("from", msg.From), obs.F("to", msg.To),
+			obs.F("kind", msg.Kind), obs.F("size", msg.WireSize()),
+			obs.F("queue_depth", len(p.queues[msg.From])))
+	}
 }
 
 // AdmitReleased runs a queue-released message through the post-cap half of
@@ -440,12 +541,15 @@ func (p *FaultPlane) AdmitReleased(msg Message) Outcome {
 	defer p.mu.Unlock()
 	if p.drop != nil && p.drop(msg) {
 		p.dropped++
+		p.o.dropped.Inc()
 		return OutcomeDropped
 	}
 	if p.faultDrop(msg) {
 		p.dropped++
+		p.o.dropped.Inc()
 		return OutcomeDropped
 	}
+	p.o.admitted.Inc()
 	return OutcomePass
 }
 
@@ -479,6 +583,7 @@ func (p *FaultPlane) ReceiveBlocked(msg Message) bool {
 	if p.down[msg.From] || p.down[msg.To] ||
 		(p.partition != nil && p.partition[msg.From] != p.partition[msg.To]) {
 		p.dropped++
+		p.o.dropped.Inc()
 		return true
 	}
 	return false

@@ -336,10 +336,6 @@ func TestQueueDeadlineExpires(t *testing.T) {
 	if net.Dropped() != 2 {
 		t.Fatalf("expiry missing from the combined drop counter: %d", net.Dropped())
 	}
-	// The deprecated alias stays readable and tracks the new counter.
-	if net.CapDrops() != net.CapExpired() {
-		t.Fatalf("CapDrops alias diverged: %d vs %d", net.CapDrops(), net.CapExpired())
-	}
 	// Expired bytes never left the NIC: the sender was charged only for
 	// the two messages actually released.
 	if tr := net.TrafficOf(1); tr.BytesOut != 2*size {

@@ -131,11 +131,6 @@ func TestTCPFaultCountersMatchMemNet(t *testing.T) {
 	if mem.CapExpired() != tn.CapExpired() {
 		t.Errorf("expiry counters diverge: mem=%d tcp=%d", mem.CapExpired(), tn.CapExpired())
 	}
-	// The deprecated alias keeps old consumers on the expiry counter.
-	if mem.CapDrops() != mem.CapExpired() || tn.CapDrops() != tn.CapExpired() {
-		t.Errorf("CapDrops alias diverged: mem %d/%d tcp %d/%d",
-			mem.CapDrops(), mem.CapExpired(), tn.CapDrops(), tn.CapExpired())
-	}
 	// Everything queued was eventually released or expired: the backlog
 	// fully drains once the cap lifts.
 	if d := mem.Faults().QueueDepth(); d != 0 {

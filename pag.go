@@ -30,6 +30,7 @@ import (
 	"repro/internal/judicial"
 	"repro/internal/membership"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pki"
 	"repro/internal/rac"
 	"repro/internal/scenario"
@@ -75,6 +76,10 @@ type Behavior = core.Behavior
 
 // Verdict re-exports PAG's proof-of-misbehaviour type.
 type Verdict = core.Verdict
+
+// QueueBacklog re-exports the bandwidth plane's per-node backlog entry
+// (EpochStat.QueueDepthByNode elements).
+type QueueBacklog = transport.QueueBacklog
 
 // SessionConfig parameterises a simulated session.
 type SessionConfig struct {
@@ -154,6 +159,20 @@ type SessionConfig struct {
 	// byte-identical replay for statistical equivalence: the fault plane
 	// is consulted in wall-clock send order, not canonical merge order.
 	NewNetwork func() transport.FaultyNetwork
+	// Obs optionally attaches an observability metrics registry (see
+	// internal/obs): the engines, the fault plane, the membership
+	// directory, the judicial registry and every PAG node register their
+	// instruments into it. Deterministic-class metrics snapshot
+	// byte-identically at any worker count; wall-clock durations are
+	// quarantined in timed/sched classes outside the determinism
+	// boundary. Nil disables instrumentation at the cost of one nil
+	// check per event.
+	Obs *obs.Registry
+	// Trace optionally attaches a structured round-event tracer (JSONL:
+	// exchange opens, verdicts, membership epochs, fault-plane queue
+	// activity). Tracing is outside the determinism boundary — event
+	// ordering follows wall-clock submission order. Nil disables.
+	Trace *obs.Tracer
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -305,7 +324,9 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		return nil, fmt.Errorf("pag: %s transport must be in stepped delivery mode for a session (call SetStepped before NewSession)", s.net.Name())
 	}
 	if c.Workers == 0 {
-		s.engine = sim.NewEngine(s.net)
+		se := sim.NewEngine(s.net)
+		se.Instrument(c.Obs)
+		s.engine = se
 		s.engineKind, s.engineWorkers = "serial", 1
 	} else {
 		mn, isMem := s.net.(*transport.MemNet)
@@ -314,10 +335,13 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 				c.Workers, s.net.Name())
 		}
 		pe := engine.New(mn, c.Workers)
+		pe.Instrument(c.Obs)
 		s.engine = pe
 		s.engineKind, s.engineWorkers = "parallel", pe.Workers()
 	}
 	s.net.Faults().SetSeed(c.Seed)
+	s.net.Faults().Instrument(c.Obs, c.Trace)
+	s.registry.Instrument(c.Obs, c.Trace)
 	// The link model's queue-expiry deadline follows the forwarding TTL:
 	// bytes still waiting behind an upload cap when their content's
 	// playout window closes (§V-D) can no longer help the receiver. A
@@ -333,6 +357,8 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		Fanout:                c.Fanout,
 		Monitors:              c.Monitors,
 		MonitorRotationRounds: c.MonitorRotationRounds,
+		Metrics:               c.Obs,
+		Trace:                 c.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pag: membership: %w", err)
@@ -574,6 +600,12 @@ func (s *Session) PAGNodeStats() map[model.NodeID]core.Stats {
 	}
 	return out
 }
+
+// Metrics returns a point-in-time snapshot of the session's observability
+// registry (empty if the session was built without one). The snapshot's
+// DeterministicText rendering is byte-identical at any worker count for
+// the same seed and scenario.
+func (s *Session) Metrics() obs.Snapshot { return s.cfg.Obs.Snapshot() }
 
 // Config returns the session's effective configuration.
 func (s *Session) Config() SessionConfig { return s.cfg }

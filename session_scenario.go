@@ -30,11 +30,12 @@ var _ scenario.Applier = (*Session)(nil)
 // change) so per-epoch bandwidth, deferral and expiry can be computed as
 // deltas.
 type epochMark struct {
-	start      model.Round
-	traffic    transport.Traffic
-	deferred   uint64
-	expired    uint64
-	queueDepth int
+	start       model.Round
+	traffic     transport.Traffic
+	deferred    uint64
+	expired     uint64
+	queueDepth  int
+	queueByNode []transport.QueueBacklog
 }
 
 // clientTraffic is the aggregate traffic excluding the source — epoch
@@ -59,11 +60,12 @@ func (s *Session) bumpEpoch(r model.Round) {
 func (s *Session) markAt(r model.Round) epochMark {
 	f := s.net.Faults()
 	return epochMark{
-		start:      r,
-		traffic:    s.clientTraffic(),
-		deferred:   f.Deferred(),
-		expired:    f.CapExpired(),
-		queueDepth: f.QueueDepth(),
+		start:       r,
+		traffic:     s.clientTraffic(),
+		deferred:    f.Deferred(),
+		expired:     f.CapExpired(),
+		queueDepth:  f.QueueDepth(),
+		queueByNode: f.QueueBacklogs(),
 	}
 }
 
@@ -381,6 +383,11 @@ type EpochStat struct {
 	Deferred   uint64 `json:"deferred"`
 	Expired    uint64 `json:"expired"`
 	QueueDepth int    `json:"queue_depth"`
+	// QueueDepthByNode breaks the epoch-end backlog down per capped
+	// sender, ascending id, zero-depth nodes omitted (empty/nil when no
+	// queue holds anything) — which link is drowning, not just that one
+	// is.
+	QueueDepthByNode []QueueBacklog `json:"queue_depth_by_node,omitempty"`
 	// Convictions counts judgments the punishment loop pronounced during
 	// the epoch; Evictions the ones that actually removed a member (a
 	// membership at minimum size cannot shrink), and RejoinRejections the
@@ -461,6 +468,7 @@ func (s *Session) EpochStats() []EpochStat {
 		st.Deferred = endMark.deferred - mark.deferred
 		st.Expired = endMark.expired - mark.expired
 		st.QueueDepth = endMark.queueDepth
+		st.QueueDepthByNode = endMark.queueByNode
 
 		// Verdicts raised while the epoch was current, and the
 		// punishment loop's activity in the same window.
