@@ -20,6 +20,11 @@
 // every measurement by fingerprinting the full per-node bandwidth
 // distribution and the playback continuity of each run, and refuses to
 // report a speedup for a run that diverged.
+//
+// Every size is also timed with a JSONL tracer attached (sink discarded):
+// the recorded trace_overhead_*_pct fields are the tracing tax on each
+// engine, and trace_byte_identical cross-checks that the traced runs'
+// measured outcomes match the untraced fingerprints.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"runtime"
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	pag "repro"
+	"repro/internal/obs"
 )
 
 // sizeResult is one system size's measurement.
@@ -56,6 +63,16 @@ type sizeResult struct {
 	RoundsPerSecSer float64 `json:"serial_rounds_per_sec"`
 	RoundsPerSecPar float64 `json:"parallel_rounds_per_sec"`
 	Identical       bool    `json:"byte_identical"`
+	// The tracing tax: the same serial and parallel runs with a JSONL
+	// tracer attached (sink discarded, so the numbers time event
+	// serialization, not the disk). TraceIdentical cross-checks that the
+	// traced runs' measured outcomes match the untraced fingerprints —
+	// tracing must sit outside the determinism boundary.
+	RoundsPerSecSerTraced float64 `json:"serial_traced_rounds_per_sec"`
+	RoundsPerSecParTraced float64 `json:"parallel_traced_rounds_per_sec"`
+	TraceOverheadSerPct   float64 `json:"trace_overhead_serial_pct"`
+	TraceOverheadParPct   float64 `json:"trace_overhead_parallel_pct"`
+	TraceIdentical        bool    `json:"trace_byte_identical"`
 }
 
 // benchReport is the BENCH_engine.json schema.
@@ -148,8 +165,9 @@ func run() int {
 			headline = res.SpeedupNote
 		}
 		fmt.Fprintf(os.Stderr,
-			"pag-bench: N=%-4d serial %6.2fs  parallel(%d workers) %6.2fs  %s  identical=%v\n",
-			n, res.SerialSeconds, *workers, res.ParallelSeconds, headline, res.Identical)
+			"pag-bench: N=%-4d serial %6.2fs  parallel(%d workers) %6.2fs  %s  identical=%v  trace +%.1f%%/+%.1f%%\n",
+			n, res.SerialSeconds, *workers, res.ParallelSeconds, headline, res.Identical,
+			res.TraceOverheadSerPct, res.TraceOverheadParPct)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -174,14 +192,18 @@ func run() int {
 // returning the duration and a fingerprint of the run's full measured
 // outcome: every member's bandwidth (bit-exact, in id order) and the
 // playback continuity — the determinism cross-check value.
-func timeRun(nodes, rounds, warmup, stream, modBits, workers int, seed uint64) (time.Duration, string, error) {
-	s, err := pag.NewSession(pag.SessionConfig{
+func timeRun(nodes, rounds, warmup, stream, modBits, workers int, seed uint64, traced bool) (time.Duration, string, error) {
+	cfg := pag.SessionConfig{
 		Nodes:       nodes,
 		StreamKbps:  stream,
 		ModulusBits: modBits,
 		Seed:        seed,
 		Workers:     workers,
-	})
+	}
+	if traced {
+		cfg.Trace = obs.NewTracer(io.Discard)
+	}
+	s, err := pag.NewSession(cfg)
 	if err != nil {
 		return 0, "", err
 	}
@@ -200,22 +222,35 @@ func timeRun(nodes, rounds, warmup, stream, modBits, workers int, seed uint64) (
 }
 
 func benchSize(nodes, rounds, warmup, stream, modBits, workers int, seed uint64) (sizeResult, error) {
-	serial, serFP, err := timeRun(nodes, rounds, warmup, stream, modBits, 0, seed)
+	serial, serFP, err := timeRun(nodes, rounds, warmup, stream, modBits, 0, seed, false)
 	if err != nil {
 		return sizeResult{}, fmt.Errorf("serial engine: %w", err)
 	}
-	parallel, parFP, err := timeRun(nodes, rounds, warmup, stream, modBits, workers, seed)
+	parallel, parFP, err := timeRun(nodes, rounds, warmup, stream, modBits, workers, seed, false)
 	if err != nil {
 		return sizeResult{}, fmt.Errorf("parallel engine: %w", err)
 	}
+	serialTr, serTrFP, err := timeRun(nodes, rounds, warmup, stream, modBits, 0, seed, true)
+	if err != nil {
+		return sizeResult{}, fmt.Errorf("serial engine traced: %w", err)
+	}
+	parallelTr, parTrFP, err := timeRun(nodes, rounds, warmup, stream, modBits, workers, seed, true)
+	if err != nil {
+		return sizeResult{}, fmt.Errorf("parallel engine traced: %w", err)
+	}
 	res := sizeResult{
-		Nodes:           float64(nodes),
-		SerialSeconds:   serial.Seconds(),
-		ParallelSeconds: parallel.Seconds(),
-		RoundsPerSecSer: float64(rounds) / serial.Seconds(),
-		RoundsPerSecPar: float64(rounds) / parallel.Seconds(),
-		Identical:       serFP == parFP,
-		EffectiveCores:  effectiveParallelism(),
+		Nodes:                 float64(nodes),
+		SerialSeconds:         serial.Seconds(),
+		ParallelSeconds:       parallel.Seconds(),
+		RoundsPerSecSer:       float64(rounds) / serial.Seconds(),
+		RoundsPerSecPar:       float64(rounds) / parallel.Seconds(),
+		Identical:             serFP == parFP,
+		EffectiveCores:        effectiveParallelism(),
+		RoundsPerSecSerTraced: float64(rounds) / serialTr.Seconds(),
+		RoundsPerSecParTraced: float64(rounds) / parallelTr.Seconds(),
+		TraceOverheadSerPct:   100 * (serialTr.Seconds() - serial.Seconds()) / serial.Seconds(),
+		TraceOverheadParPct:   100 * (parallelTr.Seconds() - parallel.Seconds()) / parallel.Seconds(),
+		TraceIdentical:        serTrFP == serFP && parTrFP == parFP,
 	}
 	switch {
 	case !res.Identical:

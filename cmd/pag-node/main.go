@@ -72,6 +72,7 @@ func run() int {
 		scFlag  = flag.String("scenario", "", "scripted timeline: canned scenario name or JSON file (all processes must pass the same value)")
 		members = flag.Int("members", 0, "founding member count: the lowest ids of the roster (0 = all; the rest are standby joiners for the scenario)")
 		metrics = flag.String("metrics", "", "serve this process's live metrics on this address (Prometheus /metrics, JSON /metrics.json, pprof /debug/pprof/; port 0 picks one)")
+		traceF  = flag.String("trace", "", "write this process's structured round-event trace (JSONL) to this file; journals from several processes merge in pag-trace by exchange id")
 	)
 	flag.Parse()
 	if *id == 0 || *roster == "" {
@@ -121,7 +122,7 @@ func run() int {
 		}
 	}
 
-	if err := runNode(self, book, *rounds, *stream, *period, *seed, *modBits, sc, founding, *metrics); err != nil {
+	if err := runNode(self, book, *rounds, *stream, *period, *seed, *modBits, sc, founding, *metrics, *traceF); err != nil {
 		fmt.Fprintln(os.Stderr, "pag-node:", err)
 		return 1
 	}
@@ -154,7 +155,7 @@ func loadScenario(nameOrPath string, rosterSize, streamKbps int, seed uint64) (s
 // runNode assembles and drives one TCP node to completion.
 func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps int,
 	period time.Duration, seed uint64, modBits int, sc *scenario.Scenario, founding int,
-	metricsAddr string) error {
+	metricsAddr, traceFile string) error {
 	ids := make([]model.NodeID, 0, len(book))
 	for id := range book {
 		ids = append(ids, id)
@@ -175,11 +176,28 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 		fmt.Printf("[%v] metrics on http://%s/metrics\n", self, srv.Addr())
 	}
 
+	// The trace journal is per-process too: each node writes its own
+	// JSONL file, and pag-trace merges several by exchange id — the same
+	// exchange produces correlated events in the sender's, receiver's and
+	// monitors' journals. The clock is set so pag-trace can report real
+	// exchange latencies.
+	var tr *obs.Tracer
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		tr = obs.NewTracer(f)
+		tr.SetClock(func() int64 { return time.Now().UnixNano() })
+	}
+
 	dir, err := membership.New(foundingIDs, membership.Config{
 		Seed:     seed,
 		Fanout:   model.FanoutFor(len(foundingIDs)),
 		Monitors: model.FanoutFor(len(foundingIDs)),
 		Metrics:  reg,
+		Trace:    tr,
 	})
 	if err != nil {
 		return err
@@ -207,7 +225,7 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 	}
 
 	net := transport.NewTCPNet(book)
-	net.Faults().Instrument(reg, nil)
+	net.Faults().Instrument(reg, tr)
 	// The link queues' expiry deadline follows the deployment's playout
 	// window — the TTL its source streams with (NewSource defaults to
 	// model.PlayoutDelayRounds) — mirroring how a simulated session pins
@@ -220,6 +238,7 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 		self:       self,
 		net:        net,
 		reg:        reg,
+		tr:         tr,
 		dir:        dir,
 		suite:      suite,
 		identities: identities,
@@ -257,6 +276,7 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 		if err != nil {
 			return err
 		}
+		timeline.Instrument(tr)
 		fmt.Printf("[%v] scenario %q: %d rounds, %d founding members, %d standby\n",
 			self, sc.Name, sc.Rounds, len(foundingIDs), len(standby))
 	}
@@ -267,6 +287,7 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 	defer ticker.Stop()
 	for r := model.Round(1); r <= model.Round(rounds); r++ {
 		net.BeginRound()
+		tr.Emit("round_begin", obs.F("round", r), obs.F("nodes", len(d.members)))
 		for _, fn := range d.pending[r] {
 			fn(r)
 		}
@@ -275,6 +296,7 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 			timeline.Apply(r, d)
 		}
 		if d.node == nil {
+			tr.Emit("round_end", obs.F("round", r), obs.F("idle", true))
 			<-ticker.C // standby or departed: stay in wall-clock lockstep
 			continue
 		}
@@ -290,7 +312,11 @@ func runNode(self model.NodeID, book map[model.NodeID]string, rounds, streamKbps
 		d.node.EndRound(r)
 		time.Sleep(period / 4)
 		d.node.CloseRound(r)
+		tr.Emit("round_end", obs.F("round", r))
 		<-ticker.C
+	}
+	if err := tr.Err(); err != nil {
+		return fmt.Errorf("trace: journal truncated: %w", err)
 	}
 
 	if timeline != nil {
@@ -324,6 +350,7 @@ type deployment struct {
 	self       model.NodeID
 	net        *transport.TCPNet
 	reg        *obs.Registry // nil without -metrics
+	tr         *obs.Tracer   // nil without -trace
 	dir        *membership.Directory
 	suite      pki.Suite
 	identities map[model.NodeID]pki.Identity
@@ -369,6 +396,7 @@ func (d *deployment) activate() error {
 		IsSource:   d.self == 1,
 		PrimeBits:  d.modBits,
 		Metrics:    d.reg,
+		Trace:      d.tr,
 		OnDeliver:  d.player.OnDeliver,
 		Verdicts: func(v core.Verdict) {
 			fmt.Printf("[%v] VERDICT %v\n", d.self, v)

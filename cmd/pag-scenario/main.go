@@ -157,6 +157,9 @@ func run() int {
 		}
 		defer f.Close()
 		cfg.Trace = obs.NewTracer(f)
+		// Wall-clock stamps let pag-trace report real exchange latencies;
+		// they sit outside the determinism boundary like the trace itself.
+		cfg.Trace.SetClock(func() int64 { return time.Now().UnixNano() })
 	}
 	switch strings.ToLower(*netKind) {
 	case "mem", "":
@@ -180,6 +183,12 @@ func run() int {
 	report, err := pag.RunScenarioReport(cfg, sc, ps, *threshold)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pag-scenario:", err)
+		return 1
+	}
+	// A latched tracer write error means the journal is truncated — worth
+	// a failing exit even though the report itself is sound.
+	if err := cfg.Trace.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "pag-scenario: trace: journal truncated:", err)
 		return 1
 	}
 	os.Stdout.Write(report.JSON())

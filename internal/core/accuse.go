@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -42,6 +43,12 @@ func (n *Node) flushMonitorReports(r model.Round) {
 			Remainder: n.recvCur.remainderFor(pred).Bytes(),
 		}
 		n.signEncryptSend(d, fwd, wire.KindAttForward)
+		if n.trace != nil {
+			n.trace.Emit("monitor_report",
+				obs.XID(model.ExchangeID(r, pred, n.id)),
+				obs.F("round", r), obs.F("from", pred), obs.F("to", n.id),
+				obs.F("monitor", d))
+		}
 	}
 }
 
@@ -116,6 +123,12 @@ func (n *Node) raiseAccusations(r model.Round) {
 		acc.Sig = sig
 		for _, m := range n.cfg.Directory.Monitors(succ, r) {
 			_ = n.cfg.Endpoint.Send(m, wire.KindAccusation, acc.Marshal())
+		}
+		if n.trace != nil {
+			n.trace.Emit("accusation",
+				obs.XID(model.ExchangeID(r, n.id, succ)),
+				obs.F("round", r), obs.F("from", n.id), obs.F("to", succ),
+				obs.F("accused", succ))
 		}
 	}
 }
@@ -195,6 +208,12 @@ func (m *monitorState) onAccusation(msg transport.Message) {
 	}
 	probe.Sig = sig
 	_ = m.n.cfg.Endpoint.Send(acc.Against, wire.KindProbe, probe.Marshal())
+	if m.n.trace != nil {
+		m.n.trace.Emit("probe",
+			obs.XID(model.ExchangeID(acc.Round, acc.From, acc.Against)),
+			obs.F("round", acc.Round), obs.F("from", acc.From), obs.F("to", acc.Against),
+			obs.F("monitor", m.n.id))
+	}
 }
 
 // onProbe handles a monitor probe as the accused node: it (re-)processes
@@ -253,6 +272,12 @@ func (n *Node) onProbe(msg transport.Message) {
 	// Answer the accuser and hand the monitor its copy.
 	_ = n.cfg.Endpoint.Send(probe.Origin, wire.KindAck, ex.ackBytes)
 	_ = n.cfg.Endpoint.Send(probe.From, wire.KindAckCopy, ex.ackBytes)
+	if n.trace != nil {
+		n.trace.Emit("probe_answer",
+			obs.XID(model.ExchangeID(n.round, probe.Origin, n.id)),
+			obs.F("round", n.round), obs.F("from", probe.Origin), obs.F("to", n.id),
+			obs.F("monitor", probe.From))
+	}
 }
 
 // onAckRequest answers a monitor's investigation (§IV-A): exhibit the

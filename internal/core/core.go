@@ -116,6 +116,12 @@ type Verdict struct {
 	Accused  model.NodeID
 	Reporter model.NodeID
 	Detail   string
+	// Exchange is the model.ExchangeID of the §V-A exchange the verdict
+	// judges, when one is identifiable (empty otherwise, e.g. a digest
+	// mismatch spans a whole round). It is trace correlation only:
+	// excluded from EvidenceKey, String and Proof so the judicial
+	// dedupe keys and proof bytes are unchanged by tracing.
+	Exchange string
 }
 
 // String implements fmt.Stringer.
@@ -133,6 +139,10 @@ func (v Verdict) EvidenceKey() judicial.Key {
 
 // Proof implements judicial.Evidence.
 func (v Verdict) Proof() []byte { return []byte(v.String()) }
+
+// TraceExchange exposes the exchange correlation id to the judicial
+// registry's tracer (see judicial.Submit).
+func (v Verdict) TraceExchange() string { return v.Exchange }
 
 // Behavior configures selfish deviations for fault-injection experiments
 // (§II-A: nodes "tamper with their software ... to maximise their benefit
@@ -231,8 +241,11 @@ type Config struct {
 	// share the registry's instruments, and commutative atomic adds keep
 	// the totals deterministic at any worker count.
 	Metrics *obs.Registry
-	// Trace optionally attaches the round-event tracer (exchange-open
-	// events); may be nil.
+	// Trace optionally attaches the round-event tracer: every §V-A
+	// exchange becomes a span (open at BeginRound, close at CloseRound
+	// with a terminal outcome) and every exchange, monitoring and
+	// accusation event carries the exchange's model.ExchangeID; may be
+	// nil.
 	Trace *obs.Tracer
 	// Verdicts receives proofs of misbehaviour; may be nil.
 	Verdicts func(Verdict)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/hhash"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/update"
 	"repro/internal/wire"
@@ -76,6 +77,12 @@ func (n *Node) onKeyRequest(msg transport.Message) {
 		}
 	}
 	n.signEncryptSend(req.From, resp, wire.KindKeyResponse)
+	if n.trace != nil {
+		n.trace.Emit("key_response",
+			obs.XID(model.ExchangeID(n.round, req.From, n.id)),
+			obs.F("round", n.round), obs.F("from", req.From), obs.F("to", n.id),
+			obs.F("buffermap", len(resp.BufferMap)))
+	}
 }
 
 // signEncryptSend signs m, encrypts the whole marshalled message to the
@@ -333,6 +340,12 @@ func (n *Node) processServe(srv *wire.Serve) {
 	ex.expEmbed = expProd
 	ex.fwdEmbed = fwdProd
 	ex.kPrevA = kPrevA
+	if n.trace != nil {
+		n.trace.Emit("serve",
+			obs.XID(model.ExchangeID(n.round, srv.From, n.id)),
+			obs.F("round", n.round), obs.F("from", srv.From), obs.F("to", n.id),
+			obs.F("payloads", len(srv.Full)), obs.F("refs", len(srv.Refs)))
+	}
 	n.maybeAck(srv.From, ex)
 }
 
@@ -382,7 +395,8 @@ func (n *Node) maybeAck(pred model.NodeID, ex *recvExchange) {
 			// conflict through A's monitors, and the signed
 			// attestation is the proof.
 			n.report(Verdict{Round: n.round, Kind: VerdictBadAttestation,
-				Accused: pred, Detail: "attestation does not match served content"})
+				Accused: pred, Detail: "attestation does not match served content",
+				Exchange: model.ExchangeID(n.round, pred, n.id)})
 			return
 		}
 	}
@@ -408,6 +422,11 @@ func (n *Node) sendAck(pred model.NodeID, ex *recvExchange) {
 	ack.Sig = sig
 	ex.ackBytes = ack.Marshal()
 	_ = n.cfg.Endpoint.Send(pred, wire.KindAck, ex.ackBytes)
+	if n.trace != nil {
+		n.trace.Emit("ack_sent",
+			obs.XID(model.ExchangeID(n.round, pred, n.id)),
+			obs.F("round", n.round), obs.F("from", pred), obs.F("to", n.id))
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -442,6 +461,11 @@ func (n *Node) onAck(msg transport.Message) {
 	}
 	ex.acked = true
 	ex.ackBytes = msg.Payload
+	if n.trace != nil {
+		n.trace.Emit("ack_received",
+			obs.XID(model.ExchangeID(n.round, n.id, ack.From)),
+			obs.F("round", n.round), obs.F("from", n.id), obs.F("to", ack.From))
+	}
 }
 
 // expectedAckFor returns the acknowledgement hash this node expects from a

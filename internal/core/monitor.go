@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/hhash"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -272,6 +273,16 @@ func (m *monitorState) ackCopyFor(r model.Round, monitored, pred model.NodeID) [
 // relayAck sends an AckRelay (message 9, or a Confirm when confirm=true)
 // to every monitor of the predecessor.
 func (m *monitorState) relayAck(r model.Round, pred model.NodeID, ackBytes []byte, confirm bool) {
+	if m.n.trace.Enabled() {
+		// The exchange id needs the acknowledging successor, which only
+		// the ack body carries — unmarshal it just for the trace.
+		if ack, err := wire.UnmarshalAck(ackBytes); err == nil {
+			m.n.trace.Emit("ack_relay",
+				obs.XID(model.ExchangeID(r, pred, ack.From)),
+				obs.F("round", r), obs.F("from", pred), obs.F("to", ack.From),
+				obs.F("monitor", m.n.id), obs.F("confirm", confirm))
+		}
+	}
 	var relay *wire.AckRelay
 	if confirm {
 		relay = wire.NewConfirm(r, m.n.id, ackBytes)
@@ -335,6 +346,13 @@ func (m *monitorState) applyShare(share *wire.HashShare) bool {
 	st.sharesSeen[share.Pred] = true
 	if hFwd, err := m.n.cfg.HashParams.DecodeValue(share.HFwdLifted); err == nil {
 		st.obligation = m.n.hasher.Combine(st.obligation, hFwd)
+	}
+	if m.n.trace != nil {
+		m.n.trace.Emit("monitor_share",
+			obs.XID(model.ExchangeID(share.Round, share.Pred, share.Monitored)),
+			obs.F("round", share.Round), obs.F("from", share.Pred),
+			obs.F("to", share.Monitored), obs.F("monitor", m.n.id),
+			obs.F("designated", share.From))
 	}
 	return true
 }
@@ -443,7 +461,8 @@ func (m *monitorState) verify(r model.Round) {
 		}
 		m.probes[key] = true
 		m.n.report(Verdict{Round: r, Kind: VerdictUnresponsive,
-			Accused: key.accused, Detail: "ignored monitor probe"})
+			Accused: key.accused, Detail: "ignored monitor probe",
+			Exchange: model.ExchangeID(r, key.accuser, key.accused)})
 		nack := &wire.Nack{Round: r, From: m.n.id, Accuser: key.accuser, Against: key.accused}
 		sig, err := m.n.cfg.Identity.Sign(nack.SigningBytes())
 		if err != nil {
@@ -492,14 +511,21 @@ func (m *monitorState) verify(r model.Round) {
 			switch {
 			case ok && ack.Cmp(prev) != 0:
 				m.n.report(Verdict{Round: r, Kind: VerdictWrongForward,
-					Accused: y,
-					Detail:  fmt.Sprintf("ack from %v does not match obligation", succ)})
+					Accused:  y,
+					Detail:   fmt.Sprintf("ack from %v does not match obligation", succ),
+					Exchange: model.ExchangeID(r, y, succ)})
 			case !ok && st.succNacked[succ]:
 				// Excused: the successor was nacked by its monitors.
 			case !ok:
 				st.requested[succ] = true
 				req := &wire.AckRequest{Round: r, From: m.n.id, Succ: succ}
 				m.n.signAndSend(y, req)
+				if m.n.trace != nil {
+					m.n.trace.Emit("ack_request",
+						obs.XID(model.ExchangeID(r, y, succ)),
+						obs.F("round", r), obs.F("from", y), obs.F("to", succ),
+						obs.F("monitor", m.n.id))
+				}
 			}
 		}
 	}
@@ -671,8 +697,9 @@ func (m *monitorState) blameDigestMismatch(r model.Round, y model.NodeID, st *mo
 		d := designatedMonitor(monitors, pred, r)
 		if d != model.NoNode && d != m.n.id {
 			m.n.report(Verdict{Round: r, Kind: VerdictMonitorSilent,
-				Accused: d,
-				Detail:  fmt.Sprintf("no hash share for exchange %v→%v", pred, y)})
+				Accused:  d,
+				Detail:   fmt.Sprintf("no hash share for exchange %v→%v", pred, y),
+				Exchange: model.ExchangeID(r, pred, y)})
 			blamedMonitor = true
 		}
 	}
@@ -718,8 +745,9 @@ func (m *monitorState) judge(r model.Round) {
 				// A Confirm arrived during the investigation window.
 				if ack.Cmp(prev) != 0 {
 					m.n.report(Verdict{Round: r, Kind: VerdictWrongForward,
-						Accused: y,
-						Detail:  fmt.Sprintf("confirmed ack from %v mismatches obligation", succ)})
+						Accused:  y,
+						Detail:   fmt.Sprintf("confirmed ack from %v mismatches obligation", succ),
+						Exchange: model.ExchangeID(r, y, succ)})
 				}
 				continue
 			}
@@ -730,8 +758,9 @@ func (m *monitorState) judge(r model.Round) {
 			switch {
 			case ex == nil:
 				m.n.report(Verdict{Round: r, Kind: VerdictNoForward,
-					Accused: y,
-					Detail:  fmt.Sprintf("no answer to AckRequest for successor %v", succ)})
+					Accused:  y,
+					Detail:   fmt.Sprintf("no answer to AckRequest for successor %v", succ),
+					Exchange: model.ExchangeID(r, y, succ)})
 			case len(ex.AckBytes) > 0:
 				m.judgeExhibitedAck(r, y, succ, prev, ex.AckBytes)
 			case ex.Accused:
@@ -740,29 +769,32 @@ func (m *monitorState) judge(r model.Round) {
 				// Nack); nothing further to judge here.
 			default:
 				m.n.report(Verdict{Round: r, Kind: VerdictNoForward,
-					Accused: y,
-					Detail:  fmt.Sprintf("cannot exhibit ack of %v and did not accuse", succ)})
+					Accused:  y,
+					Detail:   fmt.Sprintf("cannot exhibit ack of %v and did not accuse", succ),
+					Exchange: model.ExchangeID(r, y, succ)})
 			}
 		}
 	}
 }
 
 func (m *monitorState) judgeExhibitedAck(r model.Round, y, succ model.NodeID, prev *big.Int, ackBytes []byte) {
+	xid := model.ExchangeID(r, y, succ)
 	ack, err := wire.UnmarshalAck(ackBytes)
 	if err != nil || ack.From != succ || ack.To != y || ack.Round != r {
 		m.n.report(Verdict{Round: r, Kind: VerdictNoForward,
-			Accused: y, Detail: "exhibited ack is inconsistent"})
+			Accused: y, Detail: "exhibited ack is inconsistent", Exchange: xid})
 		return
 	}
 	if m.n.cfg.Suite.Verify(succ, ack.SigningBytes(), ack.Sig) != nil {
 		m.n.report(Verdict{Round: r, Kind: VerdictNoForward,
-			Accused: y, Detail: "exhibited ack has a bad signature"})
+			Accused: y, Detail: "exhibited ack has a bad signature", Exchange: xid})
 		return
 	}
 	h, err := m.n.cfg.HashParams.DecodeValue(ack.H)
 	if err != nil || h.Cmp(prev) != 0 {
 		m.n.report(Verdict{Round: r, Kind: VerdictWrongForward,
-			Accused: y, Detail: fmt.Sprintf("exhibited ack of %v mismatches obligation", succ)})
+			Accused: y, Detail: fmt.Sprintf("exhibited ack of %v mismatches obligation", succ),
+			Exchange: xid})
 		return
 	}
 	// The exhibited ack is valid, so the successor *did* receive and
@@ -770,8 +802,9 @@ func (m *monitorState) judgeExhibitedAck(r model.Round, y, succ model.NodeID, pr
 	// the successor withheld its monitor report. "Otherwise node B is
 	// considered guilty" (§IV-A).
 	m.n.report(Verdict{Round: r, Kind: VerdictUnreportedExchange,
-		Accused: succ,
-		Detail:  fmt.Sprintf("acknowledged %v's exchange but never reported it", y)})
+		Accused:  succ,
+		Detail:   fmt.Sprintf("acknowledged %v's exchange but never reported it", y),
+		Exchange: xid})
 }
 
 // gc drops monitor state older than the investigation horizon.

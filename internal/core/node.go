@@ -325,8 +325,15 @@ func (n *Node) BeginRound(r model.Round) {
 		n.signAndSend(succ, req)
 	}
 	if n.trace != nil {
-		n.trace.Emit("exchange_open", obs.F("round", r), obs.F("node", n.id),
-			obs.F("successors", len(succs)), obs.F("items", len(items)))
+		// One span per successor exchange, opened whether or not the
+		// behaviour skipped the serve — a skipped exchange still closes
+		// with outcome "skipped" at CloseRound.
+		for _, succ := range succs {
+			n.trace.Emit("exchange",
+				obs.XID(model.ExchangeID(r, n.id, succ)), obs.Span(obs.SpanOpen),
+				obs.F("round", r), obs.F("from", n.id), obs.F("to", succ),
+				obs.F("items", len(items)))
+		}
 	}
 
 	// Replay messages of this round that arrived before the rotation
@@ -397,6 +404,34 @@ func (n *Node) CloseRound(r model.Round) {
 	}
 	n.mon.gc(r)
 	n.stats.RoundsRun++
+
+	if n.trace != nil && n.sendCur != nil {
+		// Close this round's exchange spans with their terminal outcome.
+		// Churn and evictions only land between rounds (round-top hooks),
+		// so a node that opened spans at BeginRound always reaches this
+		// close in the same round.
+		succs := make([]model.NodeID, 0, len(n.sendCur.perSucc))
+		for succ := range n.sendCur.perSucc {
+			succs = append(succs, succ)
+		}
+		sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
+		for _, succ := range succs {
+			ex := n.sendCur.perSucc[succ]
+			outcome := "unresolved"
+			switch {
+			case ex.skipped:
+				outcome = "skipped"
+			case ex.acked:
+				outcome = "acked"
+			case ex.accused:
+				outcome = "accused"
+			}
+			n.trace.Emit("exchange",
+				obs.XID(model.ExchangeID(r, n.id, succ)), obs.Span(obs.SpanClose),
+				obs.F("round", r), obs.F("from", n.id), obs.F("to", succ),
+				obs.Outcome(outcome))
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -76,6 +76,7 @@ type Engine struct {
 	roundSpans  *obs.Histogram
 	shardSpans  *obs.Histogram
 	stallSpans  *obs.Histogram
+	trace       *obs.Tracer
 }
 
 var _ sim.Stepper = (*Engine)(nil)
@@ -92,13 +93,18 @@ func New(net *transport.MemNet, workers int) *Engine {
 // Workers returns the worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
-// Instrument attaches the observability registry (nil is a no-op).
-func (e *Engine) Instrument(reg *obs.Registry) {
+// Instrument attaches the observability registry and tracer (either may
+// be nil): counters plus round_begin/round_end trace events bracketing
+// every round, identical in form to the serial engine's — the round
+// markers are emitted single-threaded (round top / after the last
+// barrier), so they are part of the deterministic event class.
+func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	e.roundsC = reg.Counter("pag_engine_rounds_total")
 	e.deliveriesC = reg.Counter("pag_engine_deliveries_total")
 	e.roundSpans = reg.Histogram("pag_engine_round_seconds", obs.ClassTimed, nil)
 	e.shardSpans = reg.Histogram("pag_engine_shard_seconds", obs.ClassSched, nil)
 	e.stallSpans = reg.Histogram("pag_engine_barrier_stall_seconds", obs.ClassSched, nil)
+	e.trace = tr
 }
 
 // Round returns the last completed round (0 before the first).
@@ -211,6 +217,9 @@ func (e *Engine) RunRound() {
 	r := e.round + 1
 	e.net.BeginRound()
 	e.OpenRound(r)
+	if e.trace != nil {
+		e.trace.Emit("round_begin", obs.F("round", r), obs.F("nodes", e.Nodes()))
+	}
 	shards := e.shardNodes()
 	delivered := 0
 	e.phase(shards, func(n sim.Protocol) { n.BeginRound(r) })
@@ -225,6 +234,9 @@ func (e *Engine) RunRound() {
 	e.meter.RoundDone()
 	e.roundsC.Inc()
 	e.deliveriesC.Add(uint64(delivered))
+	if e.trace != nil {
+		e.trace.Emit("round_end", obs.F("round", r), obs.F("delivered", delivered))
+	}
 	e.roundSpans.SpanEnd(span)
 }
 

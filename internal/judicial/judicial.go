@@ -136,9 +136,18 @@ func (reg *Registry) Submit(e Evidence) bool {
 	reg.counts[k.Accused]++
 	reg.factsC.Inc()
 	if reg.trace != nil {
-		reg.trace.Emit("verdict", obs.F("round", k.Round),
+		fields := []obs.Field{obs.F("round", k.Round),
 			obs.F("accused", k.Accused), obs.F("accuser", k.Accuser),
-			obs.F("kind", k.Kind))
+			obs.F("kind", k.Kind)}
+		// Evidence that knows which §V-A exchange it judges (core.Verdict
+		// does) contributes the trace correlation id, tying the judicial
+		// fact into the exchange's span.
+		if x, ok := e.(interface{ TraceExchange() string }); ok {
+			if xid := x.TraceExchange(); xid != "" {
+				fields = append(fields, obs.XID(xid))
+			}
+		}
+		reg.trace.Emit("verdict", fields...)
 	}
 	return true
 }

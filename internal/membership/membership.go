@@ -313,7 +313,9 @@ func (d *Directory) pushEpoch(from model.Round, sorted []model.NodeID) {
 	d.epochsC.Inc()
 	d.membersG.Set(int64(len(sorted)))
 	if d.trace != nil {
-		d.trace.Emit("membership_epoch", obs.F("seq", len(d.epochs)-1),
+		// "epoch", not "seq": the tracer envelope owns the "seq" key and a
+		// duplicate would shadow it in decoded journals.
+		d.trace.Emit("membership_epoch", obs.F("epoch", len(d.epochs)-1),
 			obs.F("start", from), obs.F("members", len(sorted)))
 	}
 }

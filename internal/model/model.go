@@ -34,6 +34,53 @@ func (id NodeID) String() string {
 // round numbers start at 1.
 type Round uint64
 
+// ExchangeID names one §V-A exchange — round r, sender (predecessor)
+// `from` serving successor `to`. Every endpoint and monitor of the
+// exchange derives the same id locally from fields already carried by
+// the wire messages (Round/From/To), so trace events from different
+// processes correlate without any wire change, and the id is
+// byte-identical at any worker count.
+func ExchangeID(r Round, from, to NodeID) string {
+	return "r" + strconv.FormatUint(uint64(r), 10) + ":" +
+		strconv.FormatUint(uint64(from), 10) + ">" +
+		strconv.FormatUint(uint64(to), 10)
+}
+
+// ParseExchangeID inverts ExchangeID; ok is false for anything that is not
+// an exchange id.
+func ParseExchangeID(s string) (r Round, from, to NodeID, ok bool) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, 0, 0, false
+	}
+	colon := -1
+	for i := 1; i < len(s); i++ {
+		if s[i] == ':' {
+			colon = i
+			break
+		}
+	}
+	if colon < 0 {
+		return 0, 0, 0, false
+	}
+	gt := -1
+	for i := colon + 1; i < len(s); i++ {
+		if s[i] == '>' {
+			gt = i
+			break
+		}
+	}
+	if gt < 0 {
+		return 0, 0, 0, false
+	}
+	rv, err1 := strconv.ParseUint(s[1:colon], 10, 64)
+	fv, err2 := strconv.ParseUint(s[colon+1:gt], 10, 32)
+	tv, err3 := strconv.ParseUint(s[gt+1:], 10, 32)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, 0, 0, false
+	}
+	return Round(rv), NodeID(fv), NodeID(tv), true
+}
+
 // String implements fmt.Stringer.
 func (r Round) String() string { return "r" + strconv.FormatUint(uint64(r), 10) }
 

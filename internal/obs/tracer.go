@@ -20,13 +20,41 @@ import (
 // the pointer itself. Hot paths that would allocate a field slice should
 // still gate on Enabled().
 type Tracer struct {
-	mu  sync.Mutex
-	w   io.Writer
-	seq uint64
-	err error
+	mu    sync.Mutex
+	w     io.Writer
+	seq   uint64
+	err   error
+	clock func() int64
 }
 
-// Field is one key/value of a trace event.
+// Span-structured events: an instrumented operation with an extent (the
+// 5-message exchange) emits an opening event carrying Span(SpanOpen) and
+// a closing event carrying Span(SpanClose) plus Outcome(...); every
+// event belonging to the operation — including the open/close pair and
+// any point event in between — carries the same XID(...) correlation id
+// (see model.ExchangeID). Analyzers group by xid, not by seq, so spans
+// survive interleaving from worker goroutines and merging journals from
+// several processes.
+const (
+	// SpanOpen marks the event that opens a span.
+	SpanOpen = "open"
+	// SpanClose marks the event that closes a span; it carries the
+	// span's terminal outcome.
+	SpanClose = "close"
+)
+
+// XID is the correlation-id field tying an event to its span.
+func XID(id string) Field { return Field{Key: "xid", Value: id} }
+
+// Span is the span-state field (SpanOpen or SpanClose).
+func Span(state string) Field { return Field{Key: "span", Value: state} }
+
+// Outcome is the terminal-outcome field of a closing event.
+func Outcome(o string) Field { return Field{Key: "outcome", Value: o} }
+
+// Field is one key/value of a trace event. The envelope owns the keys
+// "seq", "ts_ns" and "event" — a field reusing one would write a
+// duplicate JSON key that shadows the envelope in decoded journals.
 type Field struct {
 	Key   string
 	Value any
@@ -41,6 +69,21 @@ func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
 // Enabled reports whether the tracer records anything — the hot-path
 // gate for call sites that build field slices.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetClock attaches a wall-clock source (typically func() int64 {
+// return time.Now().UnixNano() }); every subsequent event carries a
+// "ts_ns" field right after "seq". Deterministic tests leave the clock
+// unset so journals stay byte-comparable; the CLIs set it so pag-trace
+// can report real latencies. Canonical-comparison helpers strip both
+// seq and ts_ns.
+func (t *Tracer) SetClock(clock func() int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock = clock
+}
 
 // Emit writes one event line: {"seq":N,"event":"...",fields...}.
 // Writes are serialized; a write error latches and silences the tracer
@@ -58,6 +101,10 @@ func (t *Tracer) Emit(event string, fields ...Field) {
 	var b strings.Builder
 	b.WriteString(`{"seq":`)
 	b.WriteString(strconv.FormatUint(t.seq, 10))
+	if t.clock != nil {
+		b.WriteString(`,"ts_ns":`)
+		b.WriteString(strconv.FormatInt(t.clock(), 10))
+	}
 	b.WriteString(`,"event":`)
 	b.WriteString(quoteJSON(event))
 	for _, f := range fields {

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Action enumerates the scripted event types.
@@ -377,6 +378,7 @@ type Timeline struct {
 	churnGen *churnGen
 	rng      model.SplitMix64
 	journal  []Applied
+	trace    *obs.Tracer
 }
 
 // Compile validates the scenario and prepares a timeline for one run.
@@ -404,6 +406,14 @@ func Compile(s Scenario) (*Timeline, error) {
 
 // Scenario returns the compiled script.
 func (t *Timeline) Scenario() Scenario { return t.scenario }
+
+// Instrument attaches the round-event tracer (nil is a no-op): every
+// fired event — scripted, churn-generated or auto-resolved — emits one
+// scenario_event record carrying the *resolved* event (auto joins pinned
+// to the admitted id, auto victims to the picked node), which is exactly
+// what trace→scenario replay needs to reproduce the run without the
+// generator state.
+func (t *Timeline) Instrument(tr *obs.Tracer) { t.trace = tr }
 
 // Journal returns the applied-event log (what actually happened, in firing
 // order, including events that failed to apply).
@@ -495,6 +505,12 @@ func (t *Timeline) fire(r model.Round, e Event, a Applier) {
 		entry.Err = err.Error()
 	}
 	t.journal = append(t.journal, entry)
+	if t.trace != nil {
+		resolved := e
+		resolved.Round = r
+		resolved.Node = entry.Node
+		t.trace.Emit("scenario_event", obs.F("ev", resolved), obs.F("err", entry.Err))
+	}
 }
 
 // pickVictim selects a deterministic random churn target.

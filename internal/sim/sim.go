@@ -256,6 +256,7 @@ type Engine struct {
 	roundsC     *obs.Counter
 	deliveriesC *obs.Counter
 	roundSpans  *obs.Histogram
+	trace       *obs.Tracer
 }
 
 // NewEngine creates an engine over a stepped network.
@@ -263,11 +264,14 @@ func NewEngine(net transport.SteppedNetwork) *Engine {
 	return &Engine{net: net, meter: NewMeter(net)}
 }
 
-// Instrument attaches the observability registry (nil is a no-op).
-func (e *Engine) Instrument(reg *obs.Registry) {
+// Instrument attaches the observability registry and tracer (either may
+// be nil): counters plus round_begin/round_end trace events bracketing
+// every round, identical in form to the parallel engine's.
+func (e *Engine) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	e.roundsC = reg.Counter("pag_engine_rounds_total")
 	e.deliveriesC = reg.Counter("pag_engine_deliveries_total")
 	e.roundSpans = reg.Histogram("pag_engine_round_seconds", obs.ClassTimed, nil)
+	e.trace = tr
 }
 
 // Round returns the last completed round (0 before the first).
@@ -280,6 +284,9 @@ func (e *Engine) RunRound() {
 	r := e.round + 1
 	e.net.BeginRound()
 	e.OpenRound(r)
+	if e.trace != nil {
+		e.trace.Emit("round_begin", obs.F("round", r), obs.F("nodes", e.Nodes()))
+	}
 	delivered := 0
 	for _, n := range e.Members() {
 		n.BeginRound(r)
@@ -301,6 +308,9 @@ func (e *Engine) RunRound() {
 	e.meter.RoundDone()
 	e.roundsC.Inc()
 	e.deliveriesC.Add(uint64(delivered))
+	if e.trace != nil {
+		e.trace.Emit("round_end", obs.F("round", r), obs.F("delivered", delivered))
+	}
 	e.roundSpans.SpanEnd(span)
 }
 

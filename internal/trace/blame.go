@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// BlameVerdict is one judicial fact against the blamed node, tied (when
+// the verdict knew its exchange) back to the reassembled span and the
+// monitoring point events that produced it.
+type BlameVerdict struct {
+	Round   model.Round  `json:"round"`
+	Kind    string       `json:"kind"`
+	Accuser model.NodeID `json:"accuser"`
+	XID     string       `json:"xid,omitempty"`
+	// Outcome is the exchange span's terminal outcome ("" when the
+	// verdict carried no xid or the span is absent from the journal).
+	Outcome string `json:"outcome,omitempty"`
+	// Trail lists the monitoring events observed on the exchange, in
+	// journal order (accusation, probe, monitor_report, …).
+	Trail []string `json:"trail,omitempty"`
+}
+
+// BlameJudgment is one punishment-loop conviction of the node.
+type BlameJudgment struct {
+	Round           model.Round `json:"round"`
+	Verdicts        int         `json:"verdicts"`
+	QuarantineUntil model.Round `json:"quarantine_until"`
+	// Evicted reports whether the membership actually shrank (a
+	// membership_eviction record follows the judgment).
+	Evicted bool `json:"evicted"`
+}
+
+// BlameRejection is one rejoin attempt bounced by an active quarantine.
+type BlameRejection struct {
+	Round model.Round `json:"round"`
+	Until model.Round `json:"until"`
+}
+
+// Blame is the reconstructed causal chain against one node: the verdict
+// facts (each anchored to its exchange span), the judgments they
+// accumulated into, the evictions those executed, and any quarantined
+// rejoin attempts afterwards.
+type Blame struct {
+	Node       model.NodeID     `json:"node"`
+	Verdicts   []BlameVerdict   `json:"verdicts"`
+	Judgments  []BlameJudgment  `json:"judgments"`
+	Rejections []BlameRejection `json:"rejections,omitempty"`
+}
+
+// BlameChain reconstructs the accusation→verdict→eviction chain against
+// one node from the journal.
+func (j *Journal) BlameChain(node model.NodeID) Blame {
+	b := Blame{Node: node}
+	byXID := j.exchangeIndex()
+
+	for _, e := range j.ByName("verdict") {
+		if model.NodeID(e.Num("accused")) != node {
+			continue
+		}
+		v := BlameVerdict{
+			Round:   model.Round(e.Num("round")),
+			Kind:    e.Str("kind"),
+			Accuser: model.NodeID(e.Num("accuser")),
+			XID:     e.XID(),
+		}
+		if x := byXID[v.XID]; x != nil {
+			v.Outcome = x.Outcome
+			for _, pe := range x.Events {
+				if pe.Name != "exchange" && pe.Name != "verdict" {
+					v.Trail = append(v.Trail, pe.Name)
+				}
+			}
+		}
+		b.Verdicts = append(b.Verdicts, v)
+	}
+	sort.SliceStable(b.Verdicts, func(i, k int) bool {
+		if b.Verdicts[i].Round != b.Verdicts[k].Round {
+			return b.Verdicts[i].Round < b.Verdicts[k].Round
+		}
+		if b.Verdicts[i].Accuser != b.Verdicts[k].Accuser {
+			return b.Verdicts[i].Accuser < b.Verdicts[k].Accuser
+		}
+		return b.Verdicts[i].Kind < b.Verdicts[k].Kind
+	})
+
+	evictedAt := make(map[model.Round]bool)
+	for _, e := range j.ByName("membership_eviction") {
+		if model.NodeID(e.Num("node")) == node {
+			evictedAt[model.Round(e.Num("round"))] = true
+		}
+	}
+	for _, e := range j.ByName("judgment") {
+		if model.NodeID(e.Num("node")) != node {
+			continue
+		}
+		r := model.Round(e.Num("round"))
+		b.Judgments = append(b.Judgments, BlameJudgment{
+			Round:           r,
+			Verdicts:        int(e.Num("verdicts")),
+			QuarantineUntil: model.Round(e.Num("quarantine_until")),
+			Evicted:         evictedAt[r],
+		})
+	}
+	for _, e := range j.ByName("membership_quarantine_rejection") {
+		if model.NodeID(e.Num("node")) == node {
+			b.Rejections = append(b.Rejections, BlameRejection{
+				Round: model.Round(e.Num("round")),
+				Until: model.Round(e.Num("until")),
+			})
+		}
+	}
+	return b
+}
+
+// WriteText renders the chain human-readably.
+func (b Blame) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "blame chain for %v: %d verdicts, %d judgments, %d rejoin rejections\n",
+		b.Node, len(b.Verdicts), len(b.Judgments), len(b.Rejections))
+	for _, v := range b.Verdicts {
+		fmt.Fprintf(w, "  %v %-20s by %v", v.Round, v.Kind, v.Accuser)
+		if v.XID != "" {
+			fmt.Fprintf(w, "  [%s → %s]", v.XID, v.Outcome)
+		}
+		if len(v.Trail) > 0 {
+			fmt.Fprintf(w, "  via %v", v.Trail)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, jd := range b.Judgments {
+		verb := "judged (membership at minimum, not evicted)"
+		if jd.Evicted {
+			verb = "evicted"
+		}
+		fmt.Fprintf(w, "  %v %s on %d fresh verdicts, quarantined until %v\n",
+			jd.Round, verb, jd.Verdicts, jd.QuarantineUntil)
+	}
+	for _, rj := range b.Rejections {
+		fmt.Fprintf(w, "  %v rejoin rejected (quarantine until %v)\n", rj.Round, rj.Until)
+	}
+}

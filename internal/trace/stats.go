@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// RoundOutcomes is one round's exchange-outcome tally plus the trailing
+// playout-window view: WindowRate is the acked fraction over the last
+// model.PlayoutDelayRounds rounds ending here — the trace-side proxy for
+// playback continuity (a chunk's delivery chances ride on the exchanges
+// of the rounds inside its playout window, §V-D).
+type RoundOutcomes struct {
+	Round      model.Round `json:"round"`
+	Acked      int         `json:"acked"`
+	Accused    int         `json:"accused"`
+	Skipped    int         `json:"skipped"`
+	Unresolved int         `json:"unresolved"`
+	AckRate    float64     `json:"ack_rate"`
+	WindowRate float64     `json:"window_rate"`
+}
+
+// LatencyStats summarises open→close latencies in nanoseconds (all zero
+// for journals traced without a clock).
+type LatencyStats struct {
+	Count int   `json:"count"`
+	P50   int64 `json:"p50_ns"`
+	P90   int64 `json:"p90_ns"`
+	P99   int64 `json:"p99_ns"`
+	Max   int64 `json:"max_ns"`
+}
+
+// Stats is the journal-wide aggregation pag-trace stats prints.
+type Stats struct {
+	Rounds    int            `json:"rounds"`
+	Exchanges int            `json:"exchanges"`
+	Outcomes  map[string]int `json:"outcomes"`
+	// Malformed lists span-invariant violations (empty on a healthy
+	// journal); Dangling counts xids referenced without a span.
+	Malformed []string `json:"malformed,omitempty"`
+	Dangling  int      `json:"dangling,omitempty"`
+	// Timeline is the per-round outcome tally with the playout-window
+	// continuity proxy.
+	Timeline []RoundOutcomes `json:"timeline"`
+	// Latency breaks open→close latency down per outcome (journals with
+	// a clock only).
+	Latency map[string]LatencyStats `json:"latency,omitempty"`
+	// Verdicts tallies judicial facts by kind; Evictions and Rejections
+	// count the punishment loop's activity.
+	Verdicts   map[string]int `json:"verdicts,omitempty"`
+	Evictions  int            `json:"evictions,omitempty"`
+	Rejections int            `json:"rejections,omitempty"`
+}
+
+// ComputeStats aggregates the journal.
+func (j *Journal) ComputeStats() Stats {
+	st := Stats{Outcomes: make(map[string]int)}
+	exchanges := j.Exchanges()
+	st.Exchanges = len(exchanges)
+	st.Dangling = len(j.Dangling())
+
+	byRound := make(map[model.Round]*RoundOutcomes)
+	lat := make(map[string][]int64)
+	for _, x := range exchanges {
+		if err := x.WellFormed(); err != nil {
+			st.Malformed = append(st.Malformed, err.Error())
+			continue
+		}
+		st.Outcomes[x.Outcome]++
+		ro := byRound[x.Round]
+		if ro == nil {
+			ro = &RoundOutcomes{Round: x.Round}
+			byRound[x.Round] = ro
+		}
+		switch x.Outcome {
+		case "acked":
+			ro.Acked++
+		case "accused":
+			ro.Accused++
+		case "skipped":
+			ro.Skipped++
+		default:
+			ro.Unresolved++
+		}
+		if l := x.Latency(); l > 0 {
+			lat[x.Outcome] = append(lat[x.Outcome], l)
+		}
+	}
+
+	rounds := make([]model.Round, 0, len(byRound))
+	for r := range byRound {
+		rounds = append(rounds, r)
+	}
+	sort.Slice(rounds, func(i, k int) bool { return rounds[i] < rounds[k] })
+	// The highest completed round (round_end events where available — a
+	// multi-protocol journal brackets every protocol's rounds; exchange
+	// rounds as the fallback for journals from span-emitting runs only).
+	for _, e := range j.ByName("round_end") {
+		if r := int(e.Num("round")); r > st.Rounds {
+			st.Rounds = r
+		}
+	}
+	if st.Rounds == 0 && len(rounds) > 0 {
+		st.Rounds = int(rounds[len(rounds)-1])
+	}
+	for i, r := range rounds {
+		ro := byRound[r]
+		if total := ro.Acked + ro.Accused + ro.Skipped + ro.Unresolved; total > 0 {
+			ro.AckRate = float64(ro.Acked) / float64(total)
+		}
+		// Trailing playout window over the rounds actually present.
+		wa, wt := 0, 0
+		for k := i; k >= 0 && rounds[i]-rounds[k] < model.PlayoutDelayRounds; k-- {
+			w := byRound[rounds[k]]
+			wa += w.Acked
+			wt += w.Acked + w.Accused + w.Skipped + w.Unresolved
+		}
+		if wt > 0 {
+			ro.WindowRate = float64(wa) / float64(wt)
+		}
+		st.Timeline = append(st.Timeline, *ro)
+	}
+
+	if len(lat) > 0 {
+		st.Latency = make(map[string]LatencyStats, len(lat))
+		for outcome, ls := range lat {
+			sort.Slice(ls, func(i, k int) bool { return ls[i] < ls[k] })
+			q := func(p float64) int64 { return ls[int(p*float64(len(ls)-1))] }
+			st.Latency[outcome] = LatencyStats{
+				Count: len(ls), P50: q(0.5), P90: q(0.9), P99: q(0.99),
+				Max: ls[len(ls)-1],
+			}
+		}
+	}
+
+	for _, e := range j.ByName("verdict") {
+		if st.Verdicts == nil {
+			st.Verdicts = make(map[string]int)
+		}
+		st.Verdicts[e.Str("kind")]++
+	}
+	st.Evictions = len(j.ByName("membership_eviction"))
+	st.Rejections = len(j.ByName("membership_quarantine_rejection"))
+	return st
+}
+
+// WriteText renders the stats human-readably.
+func (st Stats) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "rounds: %d   exchanges: %d   dangling xids: %d\n",
+		st.Rounds, st.Exchanges, st.Dangling)
+	for _, o := range []string{"acked", "accused", "skipped", "unresolved"} {
+		if n := st.Outcomes[o]; n > 0 {
+			fmt.Fprintf(w, "  %-10s %6d\n", o, n)
+		}
+	}
+	if len(st.Malformed) > 0 {
+		fmt.Fprintf(w, "MALFORMED SPANS: %d\n", len(st.Malformed))
+		for _, m := range st.Malformed {
+			fmt.Fprintf(w, "  %s\n", m)
+		}
+	}
+	if len(st.Latency) > 0 {
+		fmt.Fprintln(w, "latency (open→close):")
+		outs := make([]string, 0, len(st.Latency))
+		for o := range st.Latency {
+			outs = append(outs, o)
+		}
+		sort.Strings(outs)
+		for _, o := range outs {
+			l := st.Latency[o]
+			fmt.Fprintf(w, "  %-10s n=%d p50=%s p90=%s p99=%s max=%s\n",
+				o, l.Count, ns(l.P50), ns(l.P90), ns(l.P99), ns(l.Max))
+		}
+	}
+	if len(st.Verdicts) > 0 {
+		fmt.Fprintln(w, "verdicts:")
+		kinds := make([]string, 0, len(st.Verdicts))
+		for k := range st.Verdicts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "  %-20s %4d\n", k, st.Verdicts[k])
+		}
+	}
+	if st.Evictions > 0 || st.Rejections > 0 {
+		fmt.Fprintf(w, "evictions: %d   rejoin rejections: %d\n", st.Evictions, st.Rejections)
+	}
+	fmt.Fprintln(w, "timeline (round  acked/accused/skipped/unresolved  ack-rate  playout-window):")
+	for _, ro := range st.Timeline {
+		fmt.Fprintf(w, "  %4d  %4d/%d/%d/%d  %.3f  %.3f\n", uint64(ro.Round),
+			ro.Acked, ro.Accused, ro.Skipped, ro.Unresolved, ro.AckRate, ro.WindowRate)
+	}
+}
+
+func ns(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}

@@ -325,7 +325,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	}
 	if c.Workers == 0 {
 		se := sim.NewEngine(s.net)
-		se.Instrument(c.Obs)
+		se.Instrument(c.Obs, c.Trace)
 		s.engine = se
 		s.engineKind, s.engineWorkers = "serial", 1
 	} else {
@@ -335,7 +335,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 				c.Workers, s.net.Name())
 		}
 		pe := engine.New(mn, c.Workers)
-		pe.Instrument(c.Obs)
+		pe.Instrument(c.Obs, c.Trace)
 		s.engine = pe
 		s.engineKind, s.engineWorkers = "parallel", pe.Workers()
 	}
@@ -448,6 +448,7 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 			return nil, fmt.Errorf("pag: scenario: %w", err)
 		}
 		s.timeline = tl
+		tl.Instrument(c.Trace)
 		s.engine.OnRoundStart(func(r model.Round) { tl.Apply(r, s) })
 	}
 	s.engine.OnRoundStart(func(r model.Round) { _ = s.source.Tick(r) })
@@ -483,8 +484,20 @@ func (s *Session) EngineInfo() EngineInfo {
 }
 
 // Close releases the session's transport (listeners and connections for a
-// TCP-backed session; a no-op for the in-memory network).
-func (s *Session) Close() error { return s.net.Close() }
+// TCP-backed session; a no-op for the in-memory network). If the session
+// was traced, a write error the tracer latched mid-run surfaces here — a
+// silently truncated journal would otherwise masquerade as a quiet run.
+func (s *Session) Close() error {
+	err := s.net.Close()
+	if terr := s.cfg.Trace.Err(); terr != nil {
+		if err == nil {
+			err = fmt.Errorf("pag: trace: %w", terr)
+		} else {
+			err = fmt.Errorf("%w; trace: %w", err, terr)
+		}
+	}
+	return err
+}
 
 // Run advances the session by n rounds.
 func (s *Session) Run(n int) { s.engine.Run(n) }

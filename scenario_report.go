@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -19,19 +20,25 @@ type ScenarioReport struct {
 	Seed      uint64            `json:"seed"`
 	Protocols []ProtocolRun     `json:"protocols"`
 	// Engine records how the run was executed (engine kind, worker
-	// count) plus the digest of everything else. It is the one field
-	// excluded from Digest(), so reports taken on different machines or
-	// at different worker counts stay byte-comparable: strip Engine, or
-	// compare Digest().
+	// count) plus the digest of everything else. Like the Scenario block
+	// it is excluded from Digest(), so reports taken on different
+	// machines or at different worker counts stay byte-comparable: strip
+	// Engine, or compare Digest().
 	Engine *EngineInfo `json:"engine,omitempty"`
 }
 
-// Digest returns the SHA-256 (hex) of the report's deterministic portion:
-// the JSON rendering with the Engine metadata stripped. Two runs of the
-// same scenario and seed have equal digests regardless of engine kind,
-// worker count or host.
+// Digest returns the SHA-256 (hex) of the report's measured portion: the
+// JSON rendering with the Engine metadata and the Scenario script
+// stripped. Two runs of the same scenario and seed have equal digests
+// regardless of engine kind, worker count or host — and a run of a
+// *different* script that fires the identical resolved timeline (what
+// `pag-trace replay` reconstructs: churn-generated events pinned to their
+// resolved targets) digests equally too, which is exactly the equivalence
+// replay verification needs. The applied-event journal stays inside the
+// digest, so scripts that actually did different things cannot collide.
 func (r ScenarioReport) Digest() string {
 	r.Engine = nil
+	r.Scenario = scenario.Scenario{}
 	return fmt.Sprintf("%x", sha256.Sum256(r.JSON()))
 }
 
@@ -133,6 +140,26 @@ func RunScenarioReport(base SessionConfig, sc scenario.Scenario,
 		if err != nil {
 			return ScenarioReport{}, fmt.Errorf("pag: scenario %q under %v: %w", sc.Name, p, err)
 		}
+		// One run_config record opens each protocol's segment of the trace
+		// journal: everything pag-trace needs to re-invoke the run — the
+		// full script plus the session knobs that shape the measured
+		// results — rides in the journal itself, so a journal file is a
+		// self-contained replay artifact.
+		if base.Trace.Enabled() {
+			info := s.EngineInfo()
+			def := s.Config()
+			base.Trace.Emit("run_config",
+				obs.F("scenario", sc),
+				obs.F("protocol", p.String()),
+				obs.F("nodes", def.Nodes),
+				obs.F("seed", def.Seed),
+				obs.F("stream_kbps", def.StreamKbps),
+				obs.F("modulus_bits", def.ModulusBits),
+				obs.F("threshold", convictionThreshold),
+				obs.F("workers", info.Workers),
+				obs.F("engine", info.Kind),
+				obs.F("transport", info.Transport))
+		}
 		if sc.WarmupRounds > 0 {
 			s.Run(sc.WarmupRounds)
 		}
@@ -175,6 +202,11 @@ func RunScenarioReport(base SessionConfig, sc scenario.Scenario,
 	}
 	if report.Engine != nil {
 		report.Engine.ReportDigest = report.Digest()
+		// The digest closes the journal: `pag-trace replay -verify`
+		// compares a re-run's digest against this record.
+		base.Trace.Emit("report_digest",
+			obs.F("digest", report.Engine.ReportDigest),
+			obs.F("scenario", sc.Name))
 	}
 	return report, nil
 }

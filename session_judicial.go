@@ -2,6 +2,7 @@ package pag
 
 import (
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // This file closes the accountability loop (§II-B: "the monitors generate
@@ -56,6 +57,13 @@ func (s *Session) applyJudgments(r model.Round) {
 			Verdicts:        j.Verdicts,
 			QuarantineUntil: j.QuarantineUntil,
 		}
+		// The judgment record links the verdict facts (each carrying its
+		// exchange's xid) to the membership_eviction the directory emits
+		// next — the middle link of a pag-trace blame chain.
+		s.cfg.Trace.Emit("judgment",
+			obs.F("round", j.Round), obs.F("node", j.Node),
+			obs.F("verdicts", j.Verdicts),
+			obs.F("quarantine_until", j.QuarantineUntil))
 		if err := s.dir.Evict(j.Node, r, j.QuarantineUntil); err != nil {
 			ev.Err = err.Error()
 			s.evictions = append(s.evictions, ev)
