@@ -36,6 +36,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -62,7 +63,12 @@ type sizeResult struct {
 	SpeedupNote     string  `json:"speedup_note,omitempty"`
 	RoundsPerSecSer float64 `json:"serial_rounds_per_sec"`
 	RoundsPerSecPar float64 `json:"parallel_rounds_per_sec"`
-	Identical       bool    `json:"byte_identical"`
+	// HashOpsPerSec is the Table I headline: logical homomorphic hash
+	// operations per second summed over all nodes during the serial run's
+	// measured window (the unit is execution-strategy independent — see
+	// hhash.Counter).
+	HashOpsPerSec float64 `json:"hash_ops_per_sec"`
+	Identical     bool    `json:"byte_identical"`
 	// The tracing tax: the same serial and parallel runs with a JSONL
 	// tracer attached (sink discarded, so the numbers time event
 	// serialization, not the disk). TraceIdentical cross-checks that the
@@ -106,8 +112,50 @@ func run() int {
 		out     = flag.String("out", "BENCH_engine.json", "output path ('-' for stdout only)")
 		auto    = flag.Bool("auto", true,
 			"re-record the artifact only when this host can improve it: refuse to replace recorded multicore speedups with a single-core run")
+		hhashOut   = flag.String("hhash", "", "also record crypto microbenchmarks to this path (e.g. BENCH_hhash.json)")
+		engineOff  = flag.Bool("no-engine", false, "skip the engine timing (with -hhash: record only the crypto artifact)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the runs) to this path")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pag-bench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pag-bench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pag-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pag-bench:", err)
+			}
+		}()
+	}
+
+	if *hhashOut != "" {
+		if err := recordHHashBench(*hhashOut); err != nil {
+			fmt.Fprintln(os.Stderr, "pag-bench:", err)
+			return 1
+		}
+	}
+	if *engineOff {
+		return 0
+	}
 
 	// The auto guard: a 1-core box timing the worker pool's overhead must
 	// not clobber a multicore record — the artifact is the repository's
@@ -192,7 +240,7 @@ func run() int {
 // returning the duration and a fingerprint of the run's full measured
 // outcome: every member's bandwidth (bit-exact, in id order) and the
 // playback continuity — the determinism cross-check value.
-func timeRun(nodes, rounds, warmup, stream, modBits, workers int, seed uint64, traced bool) (time.Duration, string, error) {
+func timeRun(nodes, rounds, warmup, stream, modBits, workers int, seed uint64, traced bool) (time.Duration, string, uint64, error) {
 	cfg := pag.SessionConfig{
 		Nodes:       nodes,
 		StreamKbps:  stream,
@@ -205,36 +253,48 @@ func timeRun(nodes, rounds, warmup, stream, modBits, workers int, seed uint64, t
 	}
 	s, err := pag.NewSession(cfg)
 	if err != nil {
-		return 0, "", err
+		return 0, "", 0, err
 	}
 	s.Run(warmup)
 	s.StartMeasuring()
+	opsBefore := totalHashOps(s)
 	start := time.Now()
 	s.Run(rounds)
 	elapsed := time.Since(start)
+	hashOps := totalHashOps(s) - opsBefore
 
 	h := sha256.New()
 	for _, id := range s.Members() {
 		fmt.Fprintf(h, "%d:%x\n", id, math.Float64bits(s.NodeBandwidthKbps(id)))
 	}
 	fmt.Fprintf(h, "continuity:%x\n", math.Float64bits(s.MeanContinuity()))
-	return elapsed, fmt.Sprintf("%x", h.Sum(nil)), nil
+	return elapsed, fmt.Sprintf("%x", h.Sum(nil)), hashOps, nil
+}
+
+// totalHashOps sums the logical homomorphic hash operations over every
+// PAG node (the Table I unit).
+func totalHashOps(s *pag.Session) uint64 {
+	var total uint64
+	for _, st := range s.PAGNodeStats() {
+		total += st.HashOps
+	}
+	return total
 }
 
 func benchSize(nodes, rounds, warmup, stream, modBits, workers int, seed uint64) (sizeResult, error) {
-	serial, serFP, err := timeRun(nodes, rounds, warmup, stream, modBits, 0, seed, false)
+	serial, serFP, serOps, err := timeRun(nodes, rounds, warmup, stream, modBits, 0, seed, false)
 	if err != nil {
 		return sizeResult{}, fmt.Errorf("serial engine: %w", err)
 	}
-	parallel, parFP, err := timeRun(nodes, rounds, warmup, stream, modBits, workers, seed, false)
+	parallel, parFP, _, err := timeRun(nodes, rounds, warmup, stream, modBits, workers, seed, false)
 	if err != nil {
 		return sizeResult{}, fmt.Errorf("parallel engine: %w", err)
 	}
-	serialTr, serTrFP, err := timeRun(nodes, rounds, warmup, stream, modBits, 0, seed, true)
+	serialTr, serTrFP, _, err := timeRun(nodes, rounds, warmup, stream, modBits, 0, seed, true)
 	if err != nil {
 		return sizeResult{}, fmt.Errorf("serial engine traced: %w", err)
 	}
-	parallelTr, parTrFP, err := timeRun(nodes, rounds, warmup, stream, modBits, workers, seed, true)
+	parallelTr, parTrFP, _, err := timeRun(nodes, rounds, warmup, stream, modBits, workers, seed, true)
 	if err != nil {
 		return sizeResult{}, fmt.Errorf("parallel engine traced: %w", err)
 	}
@@ -244,6 +304,7 @@ func benchSize(nodes, rounds, warmup, stream, modBits, workers int, seed uint64)
 		ParallelSeconds:       parallel.Seconds(),
 		RoundsPerSecSer:       float64(rounds) / serial.Seconds(),
 		RoundsPerSecPar:       float64(rounds) / parallel.Seconds(),
+		HashOpsPerSec:         float64(serOps) / serial.Seconds(),
 		Identical:             serFP == parFP,
 		EffectiveCores:        effectiveParallelism(),
 		RoundsPerSecSerTraced: float64(rounds) / serialTr.Seconds(),

@@ -1,0 +1,119 @@
+package pag
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/transport"
+)
+
+// The crypto hot path's regression gate: the prime pregeneration pool and
+// the batched attestation verification are pure execution-strategy
+// optimisations — every observable (report JSON, digest, deterministic
+// obs snapshot) must be byte-identical with either one, or both, ablated,
+// at every worker count. Primes never enter the digests directly (session
+// entropy is stream-ordered and the pool preserves stream order), and the
+// batched verifier attributes exactly the counters the per-check path
+// would, so ANY divergence here is a real regression.
+
+// runCryptoGate runs one canned scenario with the given crypto ablations
+// and returns the stripped report JSON, the digest and the deterministic
+// obs snapshot.
+func runCryptoGate(t *testing.T, name string, workers int, noPool, noBatch bool) ([]byte, string, string) {
+	t.Helper()
+	const nodes = 10
+	sc, err := scenario.ByName(name, nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 7
+	cfg := equivalenceBase(nodes)
+	cfg.Workers = workers
+	cfg.Obs = obs.NewRegistry()
+	cfg.DisablePrimePool = noPool
+	cfg.DisableBatchVerify = noBatch
+	r, err := RunScenarioReport(cfg, sc, nil, 1)
+	if err != nil {
+		t.Fatalf("%s workers=%d pool=%v batch=%v: %v", name, workers, !noPool, !noBatch, err)
+	}
+	return strippedJSON(r), r.Digest(), cfg.Obs.Snapshot().DeterministicText()
+}
+
+// TestCryptoAblationEquivalence: the full matrix — {prime pool, batched
+// verify} × {on, off} × workers {0, 1, 4, 16} — produces one report.
+func TestCryptoAblationEquivalence(t *testing.T) {
+	names := []string{"steady-churn", "transient-partition"}
+	workerCounts := []int{0, 1, 4, 16}
+	if testing.Short() {
+		names = names[:1]
+		workerCounts = []int{0, 4}
+	}
+	for _, name := range names {
+		wantJSON, wantDigest, wantObs := runCryptoGate(t, name, 0, false, false)
+		for _, w := range workerCounts {
+			for _, abl := range []struct {
+				tag             string
+				noPool, noBatch bool
+			}{
+				{"optimized", false, false},
+				{"no-prime-pool", true, false},
+				{"no-batch-verify", false, true},
+				{"all-ablated", true, true},
+			} {
+				gotJSON, gotDigest, gotObs := runCryptoGate(t, name, w, abl.noPool, abl.noBatch)
+				if !bytes.Equal(gotJSON, wantJSON) {
+					t.Errorf("%s workers=%d %s: report JSON diverges from the optimized serial run\nwant: %.300s\ngot:  %.300s",
+						name, w, abl.tag, wantJSON, gotJSON)
+					continue
+				}
+				if gotDigest != wantDigest {
+					t.Errorf("%s workers=%d %s: digest %s, want %s", name, w, abl.tag, gotDigest, wantDigest)
+				}
+				if gotObs != wantObs {
+					t.Errorf("%s workers=%d %s: deterministic obs snapshot diverges\nwant:\n%s\ngot:\n%s",
+						name, w, abl.tag, wantObs, gotObs)
+				}
+			}
+		}
+	}
+}
+
+// TestCryptoAblationEquivalenceTCP: the same invariant holds over loopback
+// sockets — the digest of a TCP run must not depend on the ablations.
+func TestCryptoAblationEquivalenceTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp gate is covered by the full run")
+	}
+	const nodes = 10
+	sc, err := scenario.ByName("steady-churn", nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 7
+
+	run := func(noPool, noBatch bool) string {
+		cfg := SessionConfig{
+			Nodes: nodes, StreamKbps: 2, UpdateBytes: 64, ModulusBits: 128, Seed: 7,
+			DisablePrimePool:   noPool,
+			DisableBatchVerify: noBatch,
+			NewNetwork: func() transport.FaultyNetwork {
+				tn := transport.NewTCPNet(nil)
+				tn.SetDynamic("127.0.0.1")
+				tn.SetStepped(5 * time.Second)
+				return tn
+			},
+		}
+		r, err := RunScenarioReport(cfg, sc, []Protocol{ProtocolPAG}, 1)
+		if err != nil {
+			t.Fatalf("tcp pool=%v batch=%v: %v", !noPool, !noBatch, err)
+		}
+		return r.Digest()
+	}
+	want := run(false, false)
+	if got := run(true, true); got != want {
+		t.Errorf("tcp digest with ablations %s, want %s", got, want)
+	}
+}

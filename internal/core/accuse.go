@@ -76,7 +76,7 @@ func (n *Node) publishDigest(r model.Round) {
 		return
 	}
 	msg := &wire.NodeDigest{Round: r, From: n.id, HFwd: enc}
-	sig, err := n.cfg.Identity.Sign(msg.SigningBytes())
+	sig, err := n.signBody(msg)
 	if err != nil {
 		return
 	}
@@ -116,7 +116,7 @@ func (n *Node) raiseAccusations(r model.Round) {
 			ServeCipher: ex.serveCipher,
 			AttBytes:    ex.attBytes,
 		}
-		sig, err := n.cfg.Identity.Sign(acc.SigningBytes())
+		sig, err := n.signBody(acc)
 		if err != nil {
 			return
 		}
@@ -147,7 +147,7 @@ func (n *Node) serveForAccusation(succ model.NodeID, ex *sendExchange) {
 	for _, it := range n.sendCur.items {
 		srv.Full = append(srv.Full, wire.ServedUpdate{Update: it.upd, Count: it.count})
 	}
-	sig, err := n.cfg.Identity.Sign(srv.SigningBytes())
+	sig, err := n.signBody(srv)
 	if err != nil {
 		return
 	}
@@ -171,7 +171,7 @@ func (m *monitorState) onAccusation(msg transport.Message) {
 	if err != nil || acc.From != msg.From {
 		return
 	}
-	if !m.n.verify(acc.From, acc.SigningBytes(), acc.Sig, "Accusation") {
+	if !m.n.verifyBody(acc.From, acc, acc.Sig, "Accusation") {
 		return
 	}
 	if !m.isMonitorOf(m.n.id, acc.Against, acc.Round) {
@@ -202,7 +202,7 @@ func (m *monitorState) onAccusation(msg transport.Message) {
 		ServeCipher: acc.ServeCipher,
 		AttBytes:    acc.AttBytes,
 	}
-	sig, err := m.n.cfg.Identity.Sign(probe.SigningBytes())
+	sig, err := m.n.signBody(probe)
 	if err != nil {
 		return
 	}
@@ -228,7 +228,7 @@ func (n *Node) onProbe(msg transport.Message) {
 	if err != nil || probe.From != msg.From || probe.Round != n.round {
 		return
 	}
-	if !n.verify(probe.From, probe.SigningBytes(), probe.Sig, "Probe") {
+	if !n.verifyBody(probe.From, probe, probe.Sig, "Probe") {
 		return
 	}
 	if !n.cfg.Directory.IsMonitorOf(probe.From, n.id, probe.Round) {
@@ -247,7 +247,7 @@ func (n *Node) onProbe(msg transport.Message) {
 		if err != nil || srv.From != probe.Origin || srv.To != n.id || srv.Round != n.round {
 			return
 		}
-		if !n.verify(srv.From, srv.SigningBytes(), srv.Sig, "probed Serve") {
+		if !n.verifyBody(srv.From, srv, srv.Sig, "probed Serve") {
 			return
 		}
 		n.processServe(srv)
@@ -255,7 +255,7 @@ func (n *Node) onProbe(msg transport.Message) {
 		if ex != nil && ex.ackBytes == nil && ex.attBytes == nil && len(probe.AttBytes) > 0 {
 			if att, err := wire.UnmarshalAttestation(probe.AttBytes); err == nil &&
 				att.From == probe.Origin && att.To == n.id && att.Round == n.round &&
-				n.cfg.Suite.Verify(att.From, att.SigningBytes(), att.Sig) == nil {
+				n.suiteVerifyBody(att.From, att, att.Sig) == nil {
 				ex.attBytes = probe.AttBytes
 				n.maybeAck(probe.Origin, ex)
 			}
@@ -287,7 +287,7 @@ func (n *Node) onAckRequest(msg transport.Message) {
 	if err != nil || req.From != msg.From || req.Round != n.round {
 		return
 	}
-	if !n.verify(req.From, req.SigningBytes(), req.Sig, "AckRequest") {
+	if !n.verifyBody(req.From, req, req.Sig, "AckRequest") {
 		return
 	}
 	if !n.cfg.Directory.IsMonitorOf(req.From, n.id, req.Round) {
@@ -310,7 +310,7 @@ func (m *monitorState) onAckExhibit(msg transport.Message) {
 	if err != nil || ex.From != msg.From {
 		return
 	}
-	if !m.n.verify(ex.From, ex.SigningBytes(), ex.Sig, "AckExhibit") {
+	if !m.n.verifyBody(ex.From, ex, ex.Sig, "AckExhibit") {
 		return
 	}
 	if !m.isMonitorOf(m.n.id, ex.From, ex.Round) {

@@ -158,7 +158,7 @@ func (m *monitorState) onAckCopy(msg transport.Message) {
 	if err != nil || ack.From != msg.From {
 		return
 	}
-	if !m.n.verify(ack.From, ack.SigningBytes(), ack.Sig, "AckCopy") {
+	if !m.n.verifyBody(ack.From, ack, ack.Sig, "AckCopy") {
 		return
 	}
 	if !m.isMonitorOf(m.n.id, ack.From, ack.Round) {
@@ -197,7 +197,7 @@ func (m *monitorState) onAttForward(msg transport.Message) {
 	if err != nil || fwd.From != msg.From {
 		return
 	}
-	if !m.n.verify(fwd.From, fwd.SigningBytes(), fwd.Sig, "AttForward") {
+	if !m.n.verifyBody(fwd.From, fwd, fwd.Sig, "AttForward") {
 		return
 	}
 	if !m.isMonitorOf(m.n.id, fwd.From, fwd.Round) {
@@ -209,7 +209,7 @@ func (m *monitorState) onAttForward(msg transport.Message) {
 			Accused: fwd.From, Detail: "AttForward with inconsistent attestation"})
 		return
 	}
-	if !m.n.verify(att.From, att.SigningBytes(), att.Sig, "forwarded Attestation") {
+	if !m.n.verifyBody(att.From, att, att.Sig, "forwarded Attestation") {
 		return
 	}
 	remainder, err := hhash.KeyFromBytes(fwd.Remainder)
@@ -241,7 +241,7 @@ func (m *monitorState) onAttForward(msg transport.Message) {
 		HFwdLifted: encFwd,
 		AckBytes:   ackBytes,
 	}
-	sig, err := m.n.cfg.Identity.Sign(share.SigningBytes())
+	sig, err := m.n.signBody(share)
 	if err != nil {
 		return
 	}
@@ -289,7 +289,7 @@ func (m *monitorState) relayAck(r model.Round, pred model.NodeID, ackBytes []byt
 	} else {
 		relay = wire.NewAckForward(r, m.n.id, ackBytes)
 	}
-	sig, err := m.n.cfg.Identity.Sign(relay.SigningBytes())
+	sig, err := m.n.signBody(relay)
 	if err != nil {
 		return
 	}
@@ -312,7 +312,7 @@ func (m *monitorState) onHashShare(msg transport.Message) {
 	if err != nil || share.From != msg.From {
 		return
 	}
-	if !m.n.verify(share.From, share.SigningBytes(), share.Sig, "HashShare") {
+	if !m.n.verifyBody(share.From, share, share.Sig, "HashShare") {
 		return
 	}
 	// Only the designated monitor for that exchange may originate it,
@@ -369,7 +369,7 @@ func (m *monitorState) onAckRelay(msg transport.Message) {
 	if err != nil || relay.From != msg.From {
 		return
 	}
-	if !m.n.verify(relay.From, relay.SigningBytes(), relay.Sig, "AckRelay") {
+	if !m.n.verifyBody(relay.From, relay, relay.Sig, "AckRelay") {
 		return
 	}
 	m.acceptRelayedAck(relay)
@@ -386,7 +386,7 @@ func (m *monitorState) acceptRelayedAck(relay *wire.AckRelay) {
 		!m.isMonitorOf(m.n.id, ack.To, ack.Round) {
 		return
 	}
-	if !m.n.verify(ack.From, ack.SigningBytes(), ack.Sig, "relayed Ack") {
+	if !m.n.verifyBody(ack.From, ack, ack.Sig, "relayed Ack") {
 		return
 	}
 	h, err := m.n.cfg.HashParams.DecodeValue(ack.H)
@@ -409,7 +409,7 @@ func (m *monitorState) onNack(msg transport.Message) {
 	if err != nil || nack.From != msg.From {
 		return
 	}
-	if !m.n.verify(nack.From, nack.SigningBytes(), nack.Sig, "Nack") {
+	if !m.n.verifyBody(nack.From, nack, nack.Sig, "Nack") {
 		return
 	}
 	// The nacker must monitor the accused; this node must monitor the
@@ -433,7 +433,7 @@ func (m *monitorState) onNodeDigest(msg transport.Message) {
 	if err != nil || d.From != msg.From {
 		return
 	}
-	if !m.n.verify(d.From, d.SigningBytes(), d.Sig, "NodeDigest") {
+	if !m.n.verifyBody(d.From, d, d.Sig, "NodeDigest") {
 		return
 	}
 	if !m.isMonitorOf(m.n.id, d.From, d.Round) {
@@ -464,7 +464,7 @@ func (m *monitorState) verify(r model.Round) {
 			Accused: key.accused, Detail: "ignored monitor probe",
 			Exchange: model.ExchangeID(r, key.accuser, key.accused)})
 		nack := &wire.Nack{Round: r, From: m.n.id, Accuser: key.accuser, Against: key.accused}
-		sig, err := m.n.cfg.Identity.Sign(nack.SigningBytes())
+		sig, err := m.n.signBody(nack)
 		if err != nil {
 			continue
 		}
@@ -629,7 +629,7 @@ func (m *monitorState) handover(r model.Round) {
 			Obligation: enc,
 			Suspect:    st.suspect,
 		}
-		sig, err := m.n.cfg.Identity.Sign(ho.SigningBytes())
+		sig, err := m.n.signBody(ho)
 		if err != nil {
 			continue
 		}
@@ -653,7 +653,7 @@ func (m *monitorState) onObligationHandover(msg transport.Message) {
 	if err != nil || ho.From != msg.From {
 		return
 	}
-	if !m.n.verify(ho.From, ho.SigningBytes(), ho.Sig, "ObligationHandover") {
+	if !m.n.verifyBody(ho.From, ho, ho.Sig, "ObligationHandover") {
 		return
 	}
 	// Only an outgoing monitor of the node may originate the transfer,
@@ -785,7 +785,7 @@ func (m *monitorState) judgeExhibitedAck(r model.Round, y, succ model.NodeID, pr
 			Accused: y, Detail: "exhibited ack is inconsistent", Exchange: xid})
 		return
 	}
-	if m.n.cfg.Suite.Verify(succ, ack.SigningBytes(), ack.Sig) != nil {
+	if m.n.suiteVerifyBody(succ, ack, ack.Sig) != nil {
 		m.n.report(Verdict{Round: r, Kind: VerdictNoForward,
 			Accused: y, Detail: "exhibited ack has a bad signature", Exchange: xid})
 		return

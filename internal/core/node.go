@@ -24,6 +24,11 @@ import (
 type pendingItem struct {
 	upd   update.Update
 	count uint64
+	// embed caches hhash.Embed(upd.CanonicalBytes()) — the update-sized
+	// modular reduction every serve, buffermap and acknowledgement
+	// computation starts from. Shared read-only with the update store's
+	// entry; nil means "not computed yet".
+	embed *big.Int
 }
 
 // recvExchange is the receiver-side state of one predecessor exchange
@@ -108,6 +113,15 @@ type Node struct {
 	hasher *hhash.Hasher
 	hops   hhash.Counter
 	rnd    io.Reader
+	// pool pregenerates exchange primes off the critical path; nil when
+	// the ablation (DisablePrimePool) or a construction failure routed
+	// prime generation back inline.
+	pool *hhash.PrimePool
+	// coeffs feeds batched-verification coefficients. It is deliberately
+	// NOT n.rnd: coefficients never reach the wire, and drawing them from
+	// the prime stream would shift the prime sequence relative to the
+	// unbatched ablation.
+	coeffs io.Reader
 
 	store *update.Store
 	round model.Round
@@ -170,6 +184,12 @@ func NewNode(cfg Config) (*Node, error) {
 		kPrev:       hhash.OneKey(),
 	}
 	n.hasher = hhash.NewHasher(cfg.HashParams, &n.hops)
+	if !cfg.DisablePrimePool {
+		if pool, err := hhash.NewPrimePool(rnd, cfg.PrimeBits, hhash.DefaultPrimePoolTarget); err == nil {
+			n.pool = pool
+		}
+	}
+	n.coeffs = newCoeffStream(uint64(cfg.ID))
 	if cfg.Metrics != nil {
 		for k := uint8(1); k <= maxWireKind; k++ {
 			n.msgK[k] = cfg.Metrics.Counter("pag_core_messages_total",
@@ -273,11 +293,15 @@ func (n *Node) BeginRound(r model.Round) {
 	// under a fresh private key so acknowledgements stay unlinkable.
 	if len(n.injected) > 0 {
 		for _, u := range n.injected {
-			items = append(items, pendingItem{upd: u, count: 1})
+			it := pendingItem{upd: u, count: 1}
 			n.store.Add(u, r, 1, true)
+			if e := n.store.Get(u.ID); e != nil {
+				it.embed = n.embedOf(e)
+			}
+			items = append(items, it)
 		}
 		n.injected = nil
-		if fresh, err := hhash.GeneratePrimeKey(n.rnd, n.cfg.PrimeBits); err == nil {
+		if fresh, err := n.drawPrime(); err == nil {
 			n.kPrev = n.kPrev.Mul(fresh)
 		}
 	}
@@ -290,7 +314,10 @@ func (n *Node) BeginRound(r model.Round) {
 	// Precompute the expected acknowledgement hash (one modexp).
 	prod := n.hasher.Identity()
 	for _, it := range items {
-		v := n.hasher.Embed(it.upd.CanonicalBytes())
+		v := it.embed
+		if v == nil {
+			v = n.hasher.Embed(it.upd.CanonicalBytes())
+		}
 		if it.count != 1 {
 			v = n.hasher.Lift(v, mustCountKey(it.count))
 		}
@@ -525,18 +552,40 @@ func (n *Node) dispatch(msg transport.Message) {
 // Helpers
 // ---------------------------------------------------------------------------
 
-// signAndSend signs m with the node's identity and transmits it.
-func (n *Node) signAndSend(to model.NodeID, m interface {
-	Kind() uint8
-	SigningBytes() []byte
-	Marshal() []byte
-}) {
-	sig, err := n.cfg.Identity.Sign(m.SigningBytes())
+// signAndSend signs m with the node's identity and transmits it. The
+// signing bytes run through a pooled buffer; the transport payload is a
+// fresh Marshal because the in-memory network delivers it zero-copy.
+func (n *Node) signAndSend(to model.NodeID, m wire.BodyMessage) {
+	sig, err := n.signBody(m)
 	if err != nil {
 		return
 	}
 	setSig(m, sig)
 	_ = n.cfg.Endpoint.Send(to, m.Kind(), m.Marshal())
+}
+
+// signBody signs m's body encoding through a pooled buffer (the signer
+// only hashes the bytes, so the buffer is free for reuse on return).
+func (n *Node) signBody(m wire.BodyMessage) ([]byte, error) {
+	w := wire.GetWriter()
+	defer w.Release()
+	return n.cfg.Identity.Sign(wire.SigningInto(w, m))
+}
+
+// verifyBody is verify over a pooled body encoding.
+func (n *Node) verifyBody(signer model.NodeID, m wire.BodyMessage, sig []byte, what string) bool {
+	w := wire.GetWriter()
+	defer w.Release()
+	return n.verify(signer, wire.SigningInto(w, m), sig, what)
+}
+
+// suiteVerifyBody is the uncounted raw suite check over a pooled body
+// encoding (used where a failed signature is expected evidence handling,
+// not an op to account).
+func (n *Node) suiteVerifyBody(signer model.NodeID, m wire.BodyMessage, sig []byte) error {
+	w := wire.GetWriter()
+	defer w.Release()
+	return n.cfg.Suite.Verify(signer, wire.SigningInto(w, m), sig)
 }
 
 // setSig assigns the signature field of any wire message.
@@ -592,6 +641,54 @@ func (n *Node) verify(signer model.NodeID, body, sig []byte, what string) bool {
 // encryptTo produces {m}_pk(to) with op accounting.
 func (n *Node) encryptTo(to model.NodeID, plaintext []byte) ([]byte, error) {
 	return pki.EncryptCounted(n.cfg.Suite, n.cfg.Identity.Counter(), to, plaintext)
+}
+
+// drawPrime issues the next exchange prime: from the pregeneration pool
+// when one is attached, inline otherwise. Both paths consume the node's
+// entropy stream in issuance order, so which one runs never changes the
+// sequence of primes an exchange observes.
+func (n *Node) drawPrime() (hhash.Key, error) {
+	if n.pool != nil {
+		return n.pool.Get()
+	}
+	return hhash.GeneratePrimeKey(n.rnd, n.cfg.PrimeBits)
+}
+
+// embedOf returns the entry's cached embedding, computing and caching it
+// on first use. Embeddings are pure functions of the update bytes and are
+// only ever read afterwards (Lift and Combine never mutate their
+// arguments), so one big.Int is safely shared across rounds, successors
+// and the store entry itself. Embed carries no operation counters, which
+// keeps the cache invisible to Table I accounting.
+func (n *Node) embedOf(e *update.Entry) *big.Int {
+	if e.Embed == nil {
+		e.Embed = n.hasher.Embed(e.Update.CanonicalBytes())
+	}
+	return e.Embed
+}
+
+// coeffStream is a splitmix64 byte stream seeding batched-verification
+// coefficients. The simulation only needs the coefficients to be
+// independent of anything a misbehaving predecessor controls; a deployment
+// would seed from crypto/rand instead.
+type coeffStream struct{ state uint64 }
+
+func newCoeffStream(seed uint64) *coeffStream {
+	return &coeffStream{state: seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03}
+}
+
+func (s *coeffStream) Read(p []byte) (int, error) {
+	for i := 0; i < len(p); i += 8 {
+		s.state += 0x9E3779B97F4A7C15
+		z := s.state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], z)
+		copy(p[i:], buf[:])
+	}
+	return len(p), nil
 }
 
 // mustCountKey converts a multiplicity into a hash key exponent.

@@ -1,0 +1,355 @@
+package hhash
+
+// Word-level Montgomery multiplication for odd moduli, used by the
+// multi-exponentiation ladder. The loop is the fused CIOS variant (FIOS):
+// the a·b[i] accumulation and the u·m reduction run in ONE pass over the
+// accumulator per outer word, so t is loaded and stored once per step
+// instead of twice. math/big's assembly kernels are not reachable from
+// outside the standard library; a fused pure-Go loop over math/bits
+// intrinsics (one MUL + ADC chain per limb pair) is the closest
+// substitute, and for the fixed 512-bit production modulus the k=8
+// specialization below runs with constant loop bounds and a stack-array
+// accumulator, which eliminates every bounds check on the hot path.
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+type montCtx struct {
+	mod   *big.Int
+	m     []uint // modulus limbs, little-endian, len k
+	k     int
+	n0inv uint   // -m⁻¹ mod 2^W
+	one   []uint // R mod m (Montgomery 1)
+	rr    []uint // R² mod m (to-Montgomery factor)
+	t     []uint // generic-path accumulator, len k+1
+}
+
+// newMontCtx builds the context; nil when the modulus is even or trivial
+// (Montgomery needs gcd(m, 2^W) = 1).
+func newMontCtx(mod *big.Int) *montCtx {
+	if mod == nil || mod.BitLen() < 2 || mod.Bit(0) == 0 {
+		return nil
+	}
+	words := mod.Bits()
+	k := len(words)
+	m := make([]uint, k)
+	for i, w := range words {
+		m[i] = uint(w)
+	}
+	// n0inv by Newton iteration: each step doubles the valid low bits.
+	inv := m[0]
+	for i := 0; i < 6; i++ {
+		inv *= 2 - m[0]*inv
+	}
+	c := &montCtx{mod: mod, m: m, k: k, n0inv: -inv, t: make([]uint, k+1)}
+	r := new(big.Int).Lsh(_one, uint(k)*_W)
+	c.one = c.limbsOf(new(big.Int).Mod(r, mod))
+	c.rr = c.limbsOf(new(big.Int).Mod(new(big.Int).Mul(r, r), mod))
+	return c
+}
+
+// limbsOf zero-pads v (which must be < m) to k limbs.
+func (c *montCtx) limbsOf(v *big.Int) []uint {
+	out := make([]uint, c.k)
+	for i, w := range v.Bits() {
+		out[i] = uint(w)
+	}
+	return out
+}
+
+// toInt converts k limbs back to a big.Int.
+func (c *montCtx) toInt(a []uint) *big.Int {
+	words := make([]big.Word, len(a))
+	n := 0
+	for i, w := range a {
+		words[i] = big.Word(w)
+		if w != 0 {
+			n = i + 1
+		}
+	}
+	return new(big.Int).SetBits(words[:n])
+}
+
+// toMont sets dst = v·R mod m for v < m.
+func (c *montCtx) toMont(dst []uint, v *big.Int) {
+	c.mul(dst, c.limbsOf(v), c.rr)
+}
+
+// fromMont converts a Montgomery-form value back to a plain residue.
+func (c *montCtx) fromMont(a []uint) *big.Int {
+	out := make([]uint, c.k)
+	c.mul(out, a, c.one4())
+	return c.toInt(out)
+}
+
+// one4 returns the plain-domain 1-vector (multiplying by it performs the
+// R⁻¹ Montgomery step that leaves the plain residue).
+func (c *montCtx) one4() []uint {
+	v := make([]uint, c.k)
+	v[0] = 1
+	return v
+}
+
+// mul sets dst = a·b·R⁻¹ mod m. dst, a, b are k-limb; dst may alias a
+// and/or b.
+func (c *montCtx) mul(dst, a, b []uint) {
+	if c.k == 8 && len(a) >= 8 && len(b) >= 8 && len(dst) >= 8 {
+		mul8(dst, a, b, c.m, c.n0inv)
+		return
+	}
+	k := c.k
+	m := c.m
+	t := c.t[:k+1]
+	for i := range t {
+		t[i] = 0
+	}
+	for i := 0; i < k; i++ {
+		bi := b[i]
+		hiA, loA := bits.Mul(a[0], bi)
+		v, cc := bits.Add(t[0], loA, 0)
+		carA := hiA + cc
+		u := v * c.n0inv
+		hiM, loM := bits.Mul(m[0], u)
+		_, cc = bits.Add(v, loM, 0)
+		carM := hiM + cc
+		for j := 1; j < k; j++ {
+			hiA, loA = bits.Mul(a[j], bi)
+			v, cc = bits.Add(t[j], loA, 0)
+			hiA += cc
+			v, cc = bits.Add(v, carA, 0)
+			carA = hiA + cc
+			hiM, loM = bits.Mul(m[j], u)
+			v, cc = bits.Add(v, loM, 0)
+			hiM += cc
+			v, cc = bits.Add(v, carM, 0)
+			carM = hiM + cc
+			t[j-1] = v
+		}
+		v, c1 := bits.Add(t[k], carA, 0)
+		v, c2 := bits.Add(v, carM, 0)
+		t[k-1] = v
+		t[k] = c1 + c2
+	}
+	// Result < 2m (standard CIOS bound): one conditional subtraction.
+	if t[k] != 0 || !limbsLess(t[:k], m) {
+		var borrow uint
+		for j := 0; j < k; j++ {
+			dst[j], borrow = bits.Sub(t[j], m[j], borrow)
+		}
+	} else {
+		copy(dst, t[:k])
+	}
+}
+
+// mul8 is the 512-bit (k=8) specialization: the outer loop is written
+// against named locals rather than a slice-indexed accumulator, so the
+// whole working set (a, m, t, carries) lives in registers or fixed stack
+// slots with no bounds checks in the inner chain.
+func mul8(dst, a, b, mod []uint, n0inv uint) {
+	ap := (*[8]uint)(a)
+	bp := (*[8]uint)(b)
+	mp := (*[8]uint)(mod)
+	a0, a1, a2, a3, a4, a5, a6, a7 := ap[0], ap[1], ap[2], ap[3], ap[4], ap[5], ap[6], ap[7]
+	m0, m1, m2, m3, m4, m5, m6, m7 := mp[0], mp[1], mp[2], mp[3], mp[4], mp[5], mp[6], mp[7]
+	var t0, t1, t2, t3, t4, t5, t6, t7, t8 uint
+	var hiA, loA, hiM, loM, v, cc uint
+	for i := 0; i < 8; i++ {
+		bi := bp[i]
+		hiA, loA = bits.Mul(a0, bi)
+		v, cc = bits.Add(t0, loA, 0)
+		carA := hiA + cc
+		u := v * n0inv
+		hiM, loM = bits.Mul(m0, u)
+		_, cc = bits.Add(v, loM, 0)
+		carM := hiM + cc
+		hiA, loA = bits.Mul(a1, bi)
+		v, cc = bits.Add(t1, loA, 0)
+		hiA += cc
+		v, cc = bits.Add(v, carA, 0)
+		carA = hiA + cc
+		hiM, loM = bits.Mul(m1, u)
+		v, cc = bits.Add(v, loM, 0)
+		hiM += cc
+		v, cc = bits.Add(v, carM, 0)
+		carM = hiM + cc
+		t0 = v
+		hiA, loA = bits.Mul(a2, bi)
+		v, cc = bits.Add(t2, loA, 0)
+		hiA += cc
+		v, cc = bits.Add(v, carA, 0)
+		carA = hiA + cc
+		hiM, loM = bits.Mul(m2, u)
+		v, cc = bits.Add(v, loM, 0)
+		hiM += cc
+		v, cc = bits.Add(v, carM, 0)
+		carM = hiM + cc
+		t1 = v
+		hiA, loA = bits.Mul(a3, bi)
+		v, cc = bits.Add(t3, loA, 0)
+		hiA += cc
+		v, cc = bits.Add(v, carA, 0)
+		carA = hiA + cc
+		hiM, loM = bits.Mul(m3, u)
+		v, cc = bits.Add(v, loM, 0)
+		hiM += cc
+		v, cc = bits.Add(v, carM, 0)
+		carM = hiM + cc
+		t2 = v
+		hiA, loA = bits.Mul(a4, bi)
+		v, cc = bits.Add(t4, loA, 0)
+		hiA += cc
+		v, cc = bits.Add(v, carA, 0)
+		carA = hiA + cc
+		hiM, loM = bits.Mul(m4, u)
+		v, cc = bits.Add(v, loM, 0)
+		hiM += cc
+		v, cc = bits.Add(v, carM, 0)
+		carM = hiM + cc
+		t3 = v
+		hiA, loA = bits.Mul(a5, bi)
+		v, cc = bits.Add(t5, loA, 0)
+		hiA += cc
+		v, cc = bits.Add(v, carA, 0)
+		carA = hiA + cc
+		hiM, loM = bits.Mul(m5, u)
+		v, cc = bits.Add(v, loM, 0)
+		hiM += cc
+		v, cc = bits.Add(v, carM, 0)
+		carM = hiM + cc
+		t4 = v
+		hiA, loA = bits.Mul(a6, bi)
+		v, cc = bits.Add(t6, loA, 0)
+		hiA += cc
+		v, cc = bits.Add(v, carA, 0)
+		carA = hiA + cc
+		hiM, loM = bits.Mul(m6, u)
+		v, cc = bits.Add(v, loM, 0)
+		hiM += cc
+		v, cc = bits.Add(v, carM, 0)
+		carM = hiM + cc
+		t5 = v
+		hiA, loA = bits.Mul(a7, bi)
+		v, cc = bits.Add(t7, loA, 0)
+		hiA += cc
+		v, cc = bits.Add(v, carA, 0)
+		carA = hiA + cc
+		hiM, loM = bits.Mul(m7, u)
+		v, cc = bits.Add(v, loM, 0)
+		hiM += cc
+		v, cc = bits.Add(v, carM, 0)
+		carM = hiM + cc
+		t6 = v
+		v, c1 := bits.Add(t8, carA, 0)
+		v, c2 := bits.Add(v, carM, 0)
+		t7 = v
+		t8 = c1 + c2
+	}
+	dp := (*[8]uint)(dst)
+	if t8 == 0 {
+		// t < 2^512: subtract m only when t >= m.
+		less := false
+		switch {
+		case t7 != m7:
+			less = t7 < m7
+		case t6 != m6:
+			less = t6 < m6
+		case t5 != m5:
+			less = t5 < m5
+		case t4 != m4:
+			less = t4 < m4
+		case t3 != m3:
+			less = t3 < m3
+		case t2 != m2:
+			less = t2 < m2
+		case t1 != m1:
+			less = t1 < m1
+		default:
+			less = t0 < m0
+		}
+		if less {
+			dp[0], dp[1], dp[2], dp[3] = t0, t1, t2, t3
+			dp[4], dp[5], dp[6], dp[7] = t4, t5, t6, t7
+			return
+		}
+	}
+	var borrow uint
+	dp[0], borrow = bits.Sub(t0, m0, borrow)
+	dp[1], borrow = bits.Sub(t1, m1, borrow)
+	dp[2], borrow = bits.Sub(t2, m2, borrow)
+	dp[3], borrow = bits.Sub(t3, m3, borrow)
+	dp[4], borrow = bits.Sub(t4, m4, borrow)
+	dp[5], borrow = bits.Sub(t5, m5, borrow)
+	dp[6], borrow = bits.Sub(t6, m6, borrow)
+	dp[7], borrow = bits.Sub(t7, m7, borrow)
+}
+
+// limbsLess reports a < b for equal-length limb slices.
+func limbsLess(a, b []uint) bool {
+	for j := len(a) - 1; j >= 0; j-- {
+		if a[j] != b[j] {
+			return a[j] < b[j]
+		}
+	}
+	return false
+}
+
+// multiExp runs the interleaved windowed ladder in the Montgomery domain.
+func (c *montCtx) multiExp(bases, exps []*big.Int) *big.Int {
+	n := len(bases)
+	k := c.k
+
+	maxBits := 0
+	for _, e := range exps {
+		if bl := e.BitLen(); bl > maxBits {
+			maxBits = bl
+		}
+	}
+	if maxBits == 0 {
+		return new(big.Int).Set(_one) // every exponent is zero
+	}
+	w := multiExpWindow(maxBits)
+	tsize := 1 << w
+
+	// Per-base window tables in one flat arena: tbl(i, d) holds
+	// base_i^d in Montgomery form for d = 1..2^w-1.
+	arena := make([]uint, n*(tsize-1)*k)
+	tbl := func(i, d int) []uint {
+		off := (i*(tsize-1) + d - 1) * k
+		return arena[off : off+k]
+	}
+	red := new(big.Int)
+	for i, b := range bases {
+		v := b
+		if v.Sign() < 0 || v.Cmp(c.mod) >= 0 {
+			v = red.Mod(b, c.mod)
+		}
+		c.toMont(tbl(i, 1), v)
+		for d := 2; d < tsize; d++ {
+			c.mul(tbl(i, d), tbl(i, d-1), tbl(i, 1))
+		}
+	}
+
+	words := make([][]big.Word, n)
+	for i, e := range exps {
+		words[i] = e.Bits()
+	}
+
+	acc := make([]uint, k)
+	copy(acc, c.one)
+	nw := (maxBits + w - 1) / w
+	for pos := nw - 1; pos >= 0; pos-- {
+		if pos != nw-1 {
+			for s := 0; s < w; s++ {
+				c.mul(acc, acc, acc)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if d := windowDigit(words[i], pos*w, w); d != 0 {
+				c.mul(acc, acc, tbl(i, int(d)))
+			}
+		}
+	}
+	return c.fromMont(acc)
+}

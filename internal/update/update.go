@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/big"
 	"sort"
 
 	"repro/internal/model"
@@ -60,6 +61,11 @@ type Entry struct {
 	Forwardable bool
 	// Delivered marks handoff to the application (media player).
 	Delivered bool
+	// Embed caches the protocol layer's homomorphic-hash embedding of the
+	// update bytes (u^1 mod M): every buffermap hash, serve attestation
+	// and acknowledgement lifts this value, and it never changes once the
+	// update is stored. nil until first computed; treated as read-only.
+	Embed *big.Int
 }
 
 // Store is a single node's update store. It is not safe for concurrent use;

@@ -1,0 +1,67 @@
+package wire
+
+// Pooled encode buffers. Every exchange message is signed over its body
+// encoding and most are immediately re-encoded for encryption; both
+// encodings are transient (the signer hashes them, the cipher copies
+// them), so the byte buffers can be recycled instead of churned through
+// the garbage collector. Transport payloads are NOT pooled: the in-memory
+// network hands the marshalled slice to the receiver zero-copy, and
+// receivers retain message bytes for accusations and monitor reports.
+
+import "sync"
+
+// maxPooledWriter caps the capacity a Writer may keep when returned to
+// the pool, so one oversized Serve does not pin a large buffer forever.
+const maxPooledWriter = 64 << 10
+
+var writerPool = sync.Pool{
+	New: func() any { return NewWriter() },
+}
+
+// GetWriter returns an empty Writer from the pool. Pair with Release once
+// every slice obtained from it is dead.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// Reset empties the Writer, keeping its capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Release returns the Writer to the pool. Slices previously returned by
+// SigningInto/MarshalInto/Finish alias its buffer and must not be used
+// afterwards.
+func (w *Writer) Release() {
+	if cap(w.buf) <= maxPooledWriter {
+		writerPool.Put(w)
+	}
+}
+
+// BodyMessage is the encoding surface shared by every wire message: the
+// Message interface plus the unexported deterministic body encoder, which
+// keeps the set closed over this package's types.
+type BodyMessage interface {
+	Message
+	body(w *Writer)
+}
+
+// SigningInto encodes m's signing bytes into w and returns them. The
+// returned slice aliases w's buffer: it is valid until the next Reset,
+// SigningInto/MarshalInto call, or Release.
+func SigningInto(w *Writer, m BodyMessage) []byte {
+	w.Reset()
+	m.body(w)
+	return w.buf
+}
+
+// MarshalInto encodes m's full wire form (body plus the given signature)
+// into w and returns it, with the same aliasing contract as SigningInto.
+// It is byte-for-byte the encoding Marshal produces once the message's
+// signature field holds sig.
+func MarshalInto(w *Writer, m BodyMessage, sig []byte) []byte {
+	w.Reset()
+	m.body(w)
+	w.Bytes(sig)
+	return w.buf
+}

@@ -84,6 +84,8 @@ func (s *Session) buildPAGNode(id model.NodeID, suite pki.Suite, identity pki.Id
 		BuffermapWindow:      s.cfg.BuffermapWindow,
 		Behavior:             s.cfg.PAGBehaviors[id],
 		NoObligationHandover: s.cfg.DisableObligationHandover,
+		DisablePrimePool:     s.cfg.DisablePrimePool,
+		DisableBatchVerify:   s.cfg.DisableBatchVerify,
 		Metrics:              s.cfg.Obs,
 		Trace:                s.cfg.Trace,
 		Verdicts:             func(v core.Verdict) { s.registry.Submit(v) },
