@@ -79,6 +79,13 @@ type sizeResult struct {
 	TraceOverheadSerPct   float64 `json:"trace_overhead_serial_pct"`
 	TraceOverheadParPct   float64 `json:"trace_overhead_parallel_pct"`
 	TraceIdentical        bool    `json:"trace_byte_identical"`
+	// Memory footprint of the serial run (runtime.MemStats): the heap
+	// high-water observed right after the measured window (before GC) and
+	// the GC'd live set divided by the member count — the flyweight
+	// tracking number.
+	PeakHeapAllocBytes uint64  `json:"peak_heap_alloc_bytes"`
+	PeakHeapInuseBytes uint64  `json:"peak_heap_inuse_bytes"`
+	BytesPerNode       float64 `json:"bytes_per_node"`
 }
 
 // benchReport is the BENCH_engine.json schema.
@@ -116,6 +123,9 @@ func run() int {
 		engineOff  = flag.Bool("no-engine", false, "skip the engine timing (with -hhash: record only the crypto artifact)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the runs) to this path")
+		scaleMode  = flag.Bool("scale", false, "record the Fig 9 scaling artifact (BENCH_scale.json) instead of the engine comparison")
+		scaleOut   = flag.String("scaleout", "BENCH_scale.json", "output path for -scale ('-' for stdout only)")
+		short      = flag.Bool("short", false, "with -scale: CI smoke — N=1296 only, assert the bytes/node budget and cohort byte-identity, write no artifact")
 	)
 	flag.Parse()
 
@@ -152,6 +162,9 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "pag-bench:", err)
 			return 1
 		}
+	}
+	if *scaleMode {
+		return runScaleBench(*scaleOut, *stream, *modBits, *workers, *seed, *short)
 	}
 	if *engineOff {
 		return 0
@@ -236,11 +249,30 @@ func run() int {
 	return 0
 }
 
+// memSample is the memory footprint of one run: the un-GC'd heap right
+// after the measured window (a peak proxy) and the GC'd live set.
+type memSample struct {
+	peakAlloc, peakInuse uint64
+	liveBytes            uint64
+}
+
+// sampleMem reads the peak proxy and then the post-GC live set.
+func sampleMem() memSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m := memSample{peakAlloc: ms.HeapAlloc, peakInuse: ms.HeapInuse}
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	m.liveBytes = ms.HeapAlloc
+	return m
+}
+
 // timeRun builds one session and times `rounds` steady-state rounds,
 // returning the duration and a fingerprint of the run's full measured
 // outcome: every member's bandwidth (bit-exact, in id order) and the
 // playback continuity — the determinism cross-check value.
-func timeRun(nodes, rounds, warmup, stream, modBits, workers int, seed uint64, traced bool) (time.Duration, string, uint64, error) {
+func timeRun(nodes, rounds, warmup, stream, modBits, workers int, seed uint64, traced bool) (time.Duration, string, uint64, memSample, error) {
+	runtime.GC() // drop the previous run's garbage before measuring this one
 	cfg := pag.SessionConfig{
 		Nodes:       nodes,
 		StreamKbps:  stream,
@@ -253,7 +285,7 @@ func timeRun(nodes, rounds, warmup, stream, modBits, workers int, seed uint64, t
 	}
 	s, err := pag.NewSession(cfg)
 	if err != nil {
-		return 0, "", 0, err
+		return 0, "", 0, memSample{}, err
 	}
 	s.Run(warmup)
 	s.StartMeasuring()
@@ -262,13 +294,14 @@ func timeRun(nodes, rounds, warmup, stream, modBits, workers int, seed uint64, t
 	s.Run(rounds)
 	elapsed := time.Since(start)
 	hashOps := totalHashOps(s) - opsBefore
+	mem := sampleMem()
 
 	h := sha256.New()
 	for _, id := range s.Members() {
 		fmt.Fprintf(h, "%d:%x\n", id, math.Float64bits(s.NodeBandwidthKbps(id)))
 	}
 	fmt.Fprintf(h, "continuity:%x\n", math.Float64bits(s.MeanContinuity()))
-	return elapsed, fmt.Sprintf("%x", h.Sum(nil)), hashOps, nil
+	return elapsed, fmt.Sprintf("%x", h.Sum(nil)), hashOps, mem, nil
 }
 
 // totalHashOps sums the logical homomorphic hash operations over every
@@ -282,19 +315,19 @@ func totalHashOps(s *pag.Session) uint64 {
 }
 
 func benchSize(nodes, rounds, warmup, stream, modBits, workers int, seed uint64) (sizeResult, error) {
-	serial, serFP, serOps, err := timeRun(nodes, rounds, warmup, stream, modBits, 0, seed, false)
+	serial, serFP, serOps, serMem, err := timeRun(nodes, rounds, warmup, stream, modBits, 0, seed, false)
 	if err != nil {
 		return sizeResult{}, fmt.Errorf("serial engine: %w", err)
 	}
-	parallel, parFP, _, err := timeRun(nodes, rounds, warmup, stream, modBits, workers, seed, false)
+	parallel, parFP, _, _, err := timeRun(nodes, rounds, warmup, stream, modBits, workers, seed, false)
 	if err != nil {
 		return sizeResult{}, fmt.Errorf("parallel engine: %w", err)
 	}
-	serialTr, serTrFP, _, err := timeRun(nodes, rounds, warmup, stream, modBits, 0, seed, true)
+	serialTr, serTrFP, _, _, err := timeRun(nodes, rounds, warmup, stream, modBits, 0, seed, true)
 	if err != nil {
 		return sizeResult{}, fmt.Errorf("serial engine traced: %w", err)
 	}
-	parallelTr, parTrFP, _, err := timeRun(nodes, rounds, warmup, stream, modBits, workers, seed, true)
+	parallelTr, parTrFP, _, _, err := timeRun(nodes, rounds, warmup, stream, modBits, workers, seed, true)
 	if err != nil {
 		return sizeResult{}, fmt.Errorf("parallel engine traced: %w", err)
 	}
@@ -312,6 +345,9 @@ func benchSize(nodes, rounds, warmup, stream, modBits, workers int, seed uint64)
 		TraceOverheadSerPct:   100 * (serialTr.Seconds() - serial.Seconds()) / serial.Seconds(),
 		TraceOverheadParPct:   100 * (parallelTr.Seconds() - parallel.Seconds()) / parallel.Seconds(),
 		TraceIdentical:        serTrFP == serFP && parTrFP == parFP,
+		PeakHeapAllocBytes:    serMem.peakAlloc,
+		PeakHeapInuseBytes:    serMem.peakInuse,
+		BytesPerNode:          float64(serMem.liveBytes) / float64(nodes),
 	}
 	switch {
 	case !res.Identical:

@@ -19,7 +19,7 @@ func (n *Node) flushMonitorReports(r model.Round) {
 	if n.cfg.Behavior.SkipMonitorReport || n.cfg.Behavior.RefuseReceive {
 		return
 	}
-	monitors := n.cfg.Directory.Monitors(n.id, r)
+	monitors := n.sh.Directory.Monitors(n.id, r)
 	if len(monitors) == 0 {
 		return
 	}
@@ -59,7 +59,7 @@ func (n *Node) publishDigest(r model.Round) {
 	if n.cfg.Behavior.SkipMonitorReport || n.cfg.Behavior.RefuseReceive {
 		return
 	}
-	monitors := n.cfg.Directory.Monitors(n.id, r)
+	monitors := n.sh.Directory.Monitors(n.id, r)
 	if len(monitors) == 0 {
 		return
 	}
@@ -71,7 +71,7 @@ func (n *Node) publishDigest(r model.Round) {
 		}
 	}
 	digest := n.hasher.Lift(digestProd, n.recvCur.productKey())
-	enc, err := n.cfg.HashParams.EncodeValue(digest)
+	enc, err := n.sh.HashParams.EncodeValue(digest)
 	if err != nil {
 		return
 	}
@@ -92,7 +92,7 @@ func (n *Node) publishDigest(r model.Round) {
 // ("sending to nodes in M(B) the update u, and making them forward it to
 // node B and ask for an acknowledgement", §IV-A).
 func (n *Node) raiseAccusations(r model.Round) {
-	for _, succ := range n.cfg.Directory.Successors(n.id, r) {
+	for _, succ := range n.sh.Directory.Successors(n.id, r) {
 		ex := n.sendCur.perSucc[succ]
 		if ex == nil || ex.skipped || ex.acked || ex.accused {
 			continue
@@ -121,7 +121,7 @@ func (n *Node) raiseAccusations(r model.Round) {
 			return
 		}
 		acc.Sig = sig
-		for _, m := range n.cfg.Directory.Monitors(succ, r) {
+		for _, m := range n.sh.Directory.Monitors(succ, r) {
 			_ = n.cfg.Endpoint.Send(m, wire.KindAccusation, acc.Marshal())
 		}
 		if n.trace != nil {
@@ -178,7 +178,7 @@ func (m *monitorState) onAccusation(msg transport.Message) {
 		return
 	}
 	// Only a legitimate predecessor of the accused may accuse.
-	if !contains(m.n.cfg.Directory.Predecessors(acc.Against, acc.Round), acc.From) {
+	if !contains(m.n.sh.Directory.Predecessors(acc.Against, acc.Round), acc.From) {
 		m.n.report(Verdict{Round: acc.Round, Kind: VerdictBadMessage,
 			Accused: acc.From, Detail: "accusation from a non-predecessor"})
 		return
@@ -231,7 +231,7 @@ func (n *Node) onProbe(msg transport.Message) {
 	if !n.verifyBody(probe.From, probe, probe.Sig, "Probe") {
 		return
 	}
-	if !n.cfg.Directory.IsMonitorOf(probe.From, n.id, probe.Round) {
+	if !n.sh.Directory.IsMonitorOf(probe.From, n.id, probe.Round) {
 		return
 	}
 
@@ -290,7 +290,7 @@ func (n *Node) onAckRequest(msg transport.Message) {
 	if !n.verifyBody(req.From, req, req.Sig, "AckRequest") {
 		return
 	}
-	if !n.cfg.Directory.IsMonitorOf(req.From, n.id, req.Round) {
+	if !n.sh.Directory.IsMonitorOf(req.From, n.id, req.Round) {
 		return
 	}
 	exhibit := &wire.AckExhibit{Round: req.Round, From: n.id, Succ: req.Succ}
@@ -318,7 +318,7 @@ func (m *monitorState) onAckExhibit(msg transport.Message) {
 	}
 	st := m.state(ex.Round, ex.From)
 	if st.requested[ex.Succ] && st.exhibits[ex.Succ] == nil {
-		st.exhibits[ex.Succ] = ex
+		st.putExhibit(ex.Succ, ex)
 	}
 }
 

@@ -262,26 +262,36 @@ type Config struct {
 	// exponentiation instead of folding the exchange's checks into one
 	// coefficient-weighted equation — the batched-verification ablation.
 	DisableBatchVerify bool
+	// Intern optionally attaches the session-wide update-content flyweight
+	// table (see update.Interner); nil keeps per-node content copies — the
+	// pre-flyweight representation, and the DisableFlyweight ablation.
+	Intern *update.Interner
+	// Shared optionally provides the pre-assembled session plane. Sessions
+	// build one Shared and hand it to every node; when nil, NewNode builds
+	// a private plane from the session-wide fields above (single-node
+	// construction, used throughout the tests). When non-nil it is
+	// authoritative: the session-wide fields of this Config are ignored.
+	Shared *Shared
 }
 
-func (c *Config) validate() error {
+func (c *Config) validate(sh *Shared) error {
 	if c.ID == model.NoNode {
 		return fmt.Errorf("core: node id must not be NoNode")
 	}
-	if c.Suite == nil || c.Identity == nil {
+	if sh.Suite == nil || c.Identity == nil {
 		return fmt.Errorf("core: node %v needs a suite and identity", c.ID)
 	}
 	if c.Identity.NodeID() != c.ID {
 		return fmt.Errorf("core: identity is for %v, node is %v",
 			c.Identity.NodeID(), c.ID)
 	}
-	if c.Directory == nil {
+	if sh.Directory == nil {
 		return fmt.Errorf("core: node %v needs a membership directory", c.ID)
 	}
 	if c.Endpoint == nil {
 		return fmt.Errorf("core: node %v needs a transport endpoint", c.ID)
 	}
-	if c.HashParams.Modulus() == nil {
+	if sh.HashParams.Modulus() == nil {
 		return fmt.Errorf("core: node %v needs hash parameters", c.ID)
 	}
 	return nil

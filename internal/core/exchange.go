@@ -51,7 +51,7 @@ func (n *Node) onKeyRequest(msg transport.Message) {
 			return
 		}
 		if !ok {
-			ex = &recvExchange{}
+			ex = n.newRecvExchange()
 			n.recvCur.exchanges[req.From] = ex
 		}
 		ex.prime = prime
@@ -66,10 +66,10 @@ func (n *Node) onKeyRequest(msg transport.Message) {
 	}
 	// Buffermap: hashes of the last-window ownership under the fresh
 	// prime (§V-D) — the requester matches without revealing identifiers.
-	if w := n.cfg.BuffermapWindow; w > 0 {
+	if w := n.sh.BuffermapWindow; w > 0 {
 		for _, e := range n.store.OwnedInWindow(n.round, w) {
 			h := n.hasher.Lift(n.embedOf(e), ex.prime)
-			enc, err := n.cfg.HashParams.EncodeValue(h)
+			enc, err := n.sh.HashParams.EncodeValue(h)
 			if err != nil {
 				continue
 			}
@@ -173,7 +173,7 @@ func (n *Node) serve(succ model.NodeID, ex *sendExchange, prime hhash.Key, bm up
 		owned := false
 		if bm.Len() > 0 {
 			h := n.hasher.Lift(ve, prime)
-			if enc, err := n.cfg.HashParams.EncodeValue(h); err == nil {
+			if enc, err := n.sh.HashParams.EncodeValue(h); err == nil {
 				owned = bm.Contains(enc)
 			}
 		}
@@ -199,10 +199,10 @@ func (n *Node) serve(succ model.NodeID, ex *sendExchange, prime hhash.Key, bm up
 	hExp := n.hasher.Lift(expProd, prime)
 	hFwd := n.hasher.Lift(fwdProd, prime)
 	var err error
-	if att.HExpiring, err = n.cfg.HashParams.EncodeValue(hExp); err != nil {
+	if att.HExpiring, err = n.sh.HashParams.EncodeValue(hExp); err != nil {
 		return
 	}
-	if att.HForwardable, err = n.cfg.HashParams.EncodeValue(hFwd); err != nil {
+	if att.HForwardable, err = n.sh.HashParams.EncodeValue(hFwd); err != nil {
 		return
 	}
 
@@ -271,7 +271,7 @@ func (n *Node) processServe(srv *wire.Serve) {
 		// only happen through the probe path; accept it with a zero
 		// prime (attestation verification is skipped, the exchange
 		// cannot enter the obligation).
-		ex = &recvExchange{}
+		ex = n.newRecvExchange()
 		n.recvCur.exchanges[srv.From] = ex
 	}
 	if ex.expEmbed != nil {
@@ -308,7 +308,7 @@ func (n *Node) processServe(srv *wire.Serve) {
 			fwdProd = n.hasher.Combine(fwdProd, v)
 			it, ok := n.pendingNext[u.ID]
 			if !ok {
-				n.pendingNext[u.ID] = &pendingItem{upd: u, count: count, embed: ve}
+				n.pendingNext[u.ID] = n.newPendingItem(u, count, ve)
 			} else {
 				it.count += count
 			}
@@ -334,7 +334,11 @@ func (n *Node) processServe(srv *wire.Serve) {
 		if !n.verify(src, su.Update.CanonicalBytes(), su.Update.SrcSig, "update source signature") {
 			return
 		}
-		accept(su.Update, su.Count)
+		// Content verified against the source signature: swap in the
+		// session-wide flyweight copy before storing, so N nodes hold one
+		// payload+signature allocation instead of N (no-op when the
+		// interner is ablated away).
+		accept(n.sh.Intern.Canonical(su.Update), su.Count)
 	}
 	for _, ref := range srv.Refs {
 		e := n.store.Get(ref.ID)
@@ -395,10 +399,10 @@ func (n *Node) maybeAck(pred model.NodeID, ex *recvExchange) {
 		return
 	}
 	if !ex.prime.IsZero() {
-		gotExp, errE := n.cfg.HashParams.DecodeValue(att.HExpiring)
-		gotFwd, errF := n.cfg.HashParams.DecodeValue(att.HForwardable)
+		gotExp, errE := n.sh.HashParams.DecodeValue(att.HExpiring)
+		gotFwd, errF := n.sh.HashParams.DecodeValue(att.HForwardable)
 		var ok bool
-		if n.cfg.DisableBatchVerify {
+		if n.sh.DisableBatchVerify {
 			wantExp := n.hasher.Lift(ex.expEmbed, ex.prime)
 			wantFwd := n.hasher.Lift(ex.fwdEmbed, ex.prime)
 			ok = errE == nil && errF == nil &&
@@ -435,7 +439,7 @@ func (n *Node) maybeAck(pred model.NodeID, ex *recvExchange) {
 func (n *Node) sendAck(pred model.NodeID, ex *recvExchange) {
 	full := n.hasher.Combine(ex.expEmbed, ex.fwdEmbed)
 	h := n.hasher.Lift(full, ex.kPrevA)
-	enc, err := n.cfg.HashParams.EncodeValue(h)
+	enc, err := n.sh.HashParams.EncodeValue(h)
 	if err != nil {
 		return
 	}
@@ -475,7 +479,7 @@ func (n *Node) onAck(msg transport.Message) {
 	if ex == nil || !ex.served || ex.acked {
 		return
 	}
-	h, err := n.cfg.HashParams.DecodeValue(ack.H)
+	h, err := n.sh.HashParams.DecodeValue(ack.H)
 	if err != nil {
 		return
 	}
@@ -523,8 +527,8 @@ func (n *Node) expectedAckFor(ex *sendExchange) *big.Int {
 // streamSource maps a stream to its source node.
 func (n *Node) streamSource(s model.StreamID) (model.NodeID, bool) {
 	idx := int(s)
-	if idx < 0 || idx >= len(n.cfg.Sources) {
+	if idx < 0 || idx >= len(n.sh.Sources) {
 		return model.NoNode, false
 	}
-	return n.cfg.Sources[idx], true
+	return n.sh.Sources[idx], true
 }

@@ -41,15 +41,41 @@ type monNodeRound struct {
 	suspect bool
 }
 
+// newMonNodeRound allocates the per-(node, round) shell. Only the two
+// maps every round exercises are eager; succNacked, requested and
+// exhibits exist solely during investigations (rare), so they allocate
+// lazily — at scale the empty maps were a measurable share of monitor
+// memory (watched × retained rounds × three map headers per node).
 func newMonNodeRound() *monNodeRound {
 	return &monNodeRound{
 		obligation: big.NewInt(1),
 		sharesSeen: make(map[model.NodeID]bool),
 		succAcks:   make(map[model.NodeID]*big.Int),
-		succNacked: make(map[model.NodeID]bool),
-		requested:  make(map[model.NodeID]bool),
-		exhibits:   make(map[model.NodeID]*wire.AckExhibit),
 	}
+}
+
+// markNacked lazily records an excused successor.
+func (st *monNodeRound) markNacked(succ model.NodeID) {
+	if st.succNacked == nil {
+		st.succNacked = make(map[model.NodeID]bool)
+	}
+	st.succNacked[succ] = true
+}
+
+// markRequested lazily records a successor under AckRequest investigation.
+func (st *monNodeRound) markRequested(succ model.NodeID) {
+	if st.requested == nil {
+		st.requested = make(map[model.NodeID]bool)
+	}
+	st.requested[succ] = true
+}
+
+// putExhibit lazily stores an AckExhibit answer.
+func (st *monNodeRound) putExhibit(succ model.NodeID, ex *wire.AckExhibit) {
+	if st.exhibits == nil {
+		st.exhibits = make(map[model.NodeID]*wire.AckExhibit)
+	}
+	st.exhibits[succ] = ex
 }
 
 // probeKey identifies one accusation probe.
@@ -124,18 +150,18 @@ func (m *monitorState) state(r model.Round, y model.NodeID) *monNodeRound {
 // beginRound refreshes the inverse monitor index when the monitor epoch
 // changes (with static monitors the scan happens exactly once).
 func (m *monitorState) beginRound(r model.Round) {
-	epoch := m.n.cfg.Directory.MonitorEpoch(r)
+	epoch := m.n.sh.Directory.MonitorEpoch(r)
 	if m.monitoredValid && m.monitoredEpoch == epoch {
 		return
 	}
 	m.monitoredEpoch = epoch
 	m.monitoredValid = true
 	m.monitored = m.monitored[:0]
-	for _, y := range m.n.cfg.Directory.MembersAt(r) {
+	for _, y := range m.n.sh.Directory.MembersAt(r) {
 		if y == m.n.id {
 			continue
 		}
-		if m.n.cfg.Directory.IsMonitorOf(m.n.id, y, r) {
+		if m.n.sh.Directory.IsMonitorOf(m.n.id, y, r) {
 			m.monitored = append(m.monitored, y)
 		}
 	}
@@ -143,7 +169,7 @@ func (m *monitorState) beginRound(r model.Round) {
 
 // isMonitorOf answers whether from ∈ M(of) at round r.
 func (m *monitorState) isMonitorOf(from, of model.NodeID, r model.Round) bool {
-	return m.n.cfg.Directory.IsMonitorOf(from, of, r)
+	return m.n.sh.Directory.IsMonitorOf(from, of, r)
 }
 
 // ---------------------------------------------------------------------------
@@ -216,8 +242,8 @@ func (m *monitorState) onAttForward(msg transport.Message) {
 	if err != nil {
 		return
 	}
-	hExp, errE := m.n.cfg.HashParams.DecodeValue(att.HExpiring)
-	hFwd, errF := m.n.cfg.HashParams.DecodeValue(att.HForwardable)
+	hExp, errE := m.n.sh.HashParams.DecodeValue(att.HExpiring)
+	hFwd, errF := m.n.sh.HashParams.DecodeValue(att.HForwardable)
 	if errE != nil || errF != nil {
 		return
 	}
@@ -225,8 +251,8 @@ func (m *monitorState) onAttForward(msg transport.Message) {
 	// Lift to K(R,B):  (H(S_A)_(p_j))^(∏_{k≠j}p_k)  (§V-B).
 	liftedExp := m.n.hasher.Lift(hExp, remainder)
 	liftedFwd := m.n.hasher.Lift(hFwd, remainder)
-	encExp, errE := m.n.cfg.HashParams.EncodeValue(liftedExp)
-	encFwd, errF := m.n.cfg.HashParams.EncodeValue(liftedFwd)
+	encExp, errE := m.n.sh.HashParams.EncodeValue(liftedExp)
+	encFwd, errF := m.n.sh.HashParams.EncodeValue(liftedFwd)
 	if errE != nil || errF != nil {
 		return
 	}
@@ -249,7 +275,7 @@ func (m *monitorState) onAttForward(msg transport.Message) {
 
 	// Broadcast to the other monitors of the monitored node (msg 8) and
 	// fold the share in locally.
-	for _, peer := range m.n.cfg.Directory.Monitors(fwd.From, fwd.Round) {
+	for _, peer := range m.n.sh.Directory.Monitors(fwd.From, fwd.Round) {
 		if peer == m.n.id {
 			continue
 		}
@@ -295,7 +321,7 @@ func (m *monitorState) relayAck(r model.Round, pred model.NodeID, ackBytes []byt
 	}
 	relay.Sig = sig
 	enc := relay.Marshal()
-	for _, peer := range m.n.cfg.Directory.Monitors(pred, r) {
+	for _, peer := range m.n.sh.Directory.Monitors(pred, r) {
 		if peer == m.n.id {
 			m.acceptRelayedAck(relay)
 			continue
@@ -321,7 +347,7 @@ func (m *monitorState) onHashShare(msg transport.Message) {
 		!m.isMonitorOf(m.n.id, share.Monitored, share.Round) {
 		return
 	}
-	monitors := m.n.cfg.Directory.Monitors(share.Monitored, share.Round)
+	monitors := m.n.sh.Directory.Monitors(share.Monitored, share.Round)
 	if designatedMonitor(monitors, share.Pred, share.Round) != share.From {
 		m.n.report(Verdict{Round: share.Round, Kind: VerdictBadMessage,
 			Accused: share.From, Detail: "hash share from non-designated monitor"})
@@ -344,7 +370,7 @@ func (m *monitorState) applyShare(share *wire.HashShare) bool {
 		return false // duplicate
 	}
 	st.sharesSeen[share.Pred] = true
-	if hFwd, err := m.n.cfg.HashParams.DecodeValue(share.HFwdLifted); err == nil {
+	if hFwd, err := m.n.sh.HashParams.DecodeValue(share.HFwdLifted); err == nil {
 		st.obligation = m.n.hasher.Combine(st.obligation, hFwd)
 	}
 	if m.n.trace != nil {
@@ -389,7 +415,7 @@ func (m *monitorState) acceptRelayedAck(relay *wire.AckRelay) {
 	if !m.n.verifyBody(ack.From, ack, ack.Sig, "relayed Ack") {
 		return
 	}
-	h, err := m.n.cfg.HashParams.DecodeValue(ack.H)
+	h, err := m.n.sh.HashParams.DecodeValue(ack.H)
 	if err != nil {
 		return
 	}
@@ -418,7 +444,7 @@ func (m *monitorState) onNack(msg transport.Message) {
 		!m.isMonitorOf(m.n.id, nack.Accuser, nack.Round) {
 		return
 	}
-	m.state(nack.Round, nack.Accuser).succNacked[nack.Against] = true
+	m.state(nack.Round, nack.Accuser).markNacked(nack.Against)
 }
 
 // ---------------------------------------------------------------------------
@@ -439,7 +465,7 @@ func (m *monitorState) onNodeDigest(msg transport.Message) {
 	if !m.isMonitorOf(m.n.id, d.From, d.Round) {
 		return
 	}
-	if h, err := m.n.cfg.HashParams.DecodeValue(d.HFwd); err == nil {
+	if h, err := m.n.sh.HashParams.DecodeValue(d.HFwd); err == nil {
 		m.state(d.Round, d.From).digest = h
 	}
 }
@@ -469,9 +495,9 @@ func (m *monitorState) verify(r model.Round) {
 			continue
 		}
 		nack.Sig = sig
-		for _, peer := range m.n.cfg.Directory.Monitors(key.accuser, r) {
+		for _, peer := range m.n.sh.Directory.Monitors(key.accuser, r) {
 			if peer == m.n.id {
-				m.state(r, key.accuser).succNacked[key.accused] = true
+				m.state(r, key.accuser).markNacked(key.accused)
 				continue
 			}
 			_ = m.n.cfg.Endpoint.Send(peer, wire.KindNack, nack.Marshal())
@@ -484,7 +510,7 @@ func (m *monitorState) verify(r model.Round) {
 	// the baseline resolution below always takes the own-accumulation
 	// fast path — skip its O(N) recomputations.
 	boundary := r > 0 &&
-		m.n.cfg.Directory.MonitorEpoch(r) != m.n.cfg.Directory.MonitorEpoch(r-1)
+		m.n.sh.Directory.MonitorEpoch(r) != m.n.sh.Directory.MonitorEpoch(r-1)
 
 	for _, y := range m.monitored {
 		st := m.state(r, y)
@@ -506,7 +532,7 @@ func (m *monitorState) verify(r model.Round) {
 		if !ok || suspect {
 			continue
 		}
-		for _, succ := range m.n.cfg.Directory.Successors(y, r) {
+		for _, succ := range m.n.sh.Directory.Successors(y, r) {
 			ack, ok := st.succAcks[succ]
 			switch {
 			case ok && ack.Cmp(prev) != 0:
@@ -517,7 +543,7 @@ func (m *monitorState) verify(r model.Round) {
 			case !ok && st.succNacked[succ]:
 				// Excused: the successor was nacked by its monitors.
 			case !ok:
-				st.requested[succ] = true
+				st.markRequested(succ)
 				req := &wire.AckRequest{Round: r, From: m.n.id, Succ: succ}
 				m.n.signAndSend(y, req)
 				if m.n.trace != nil {
@@ -549,7 +575,7 @@ func (m *monitorState) obligationOf(r model.Round, y model.NodeID) *big.Int {
 // accumulation; on a boundary where this monitor took over, it is the
 // majority of the outgoing monitors' handovers.
 func (m *monitorState) baseline(r model.Round, y model.NodeID, boundary bool) (prev *big.Int, suspect, ok bool) {
-	if boundary && !m.n.cfg.Directory.ContainsAt(y, r-1) {
+	if boundary && !m.n.sh.Directory.ContainsAt(y, r-1) {
 		return nil, false, false // joined this round: no r-1 obligation at all
 	}
 	if !boundary || m.isMonitorOf(m.n.id, y, r-1) {
@@ -592,7 +618,7 @@ func (m *monitorState) handedBaseline(r model.Round, y model.NodeID) (*big.Int, 
 			best, bestKey = n, k
 		}
 	}
-	if quorum := len(m.n.cfg.Directory.Monitors(y, r)) / 2; best <= quorum {
+	if quorum := len(m.n.sh.Directory.Monitors(y, r)) / 2; best <= quorum {
 		return nil, false, false
 	}
 	win := byKey[bestKey]
@@ -609,7 +635,7 @@ func (m *monitorState) handedBaseline(r model.Round, y model.NodeID) (*big.Int, 
 // monitors one node at a time (rendezvous stickiness), so the system-wide
 // blind round only ever came from rotation.
 func (m *monitorState) handover(r model.Round) {
-	d := m.n.cfg.Directory
+	d := m.n.sh.Directory
 	if d.MonitorEpoch(r+1) == d.MonitorEpoch(r) {
 		return
 	}
@@ -618,7 +644,7 @@ func (m *monitorState) handover(r model.Round) {
 			continue
 		}
 		st := m.state(r, y)
-		enc, err := m.n.cfg.HashParams.EncodeValue(st.obligation)
+		enc, err := m.n.sh.HashParams.EncodeValue(st.obligation)
 		if err != nil {
 			continue
 		}
@@ -664,7 +690,7 @@ func (m *monitorState) onObligationHandover(msg transport.Message) {
 		m.isMonitorOf(m.n.id, ho.Monitored, ho.Round) {
 		return
 	}
-	v, err := m.n.cfg.HashParams.DecodeValue(ho.Obligation)
+	v, err := m.n.sh.HashParams.DecodeValue(ho.Obligation)
 	if err != nil {
 		return
 	}
@@ -688,9 +714,9 @@ func (m *monitorState) onObligationHandover(msg transport.Message) {
 // monitor is blamed (§V-B: "Monitors are then able to check each other's
 // correctness"); otherwise the monitored node mis-reported.
 func (m *monitorState) blameDigestMismatch(r model.Round, y model.NodeID, st *monNodeRound) {
-	monitors := m.n.cfg.Directory.Monitors(y, r)
+	monitors := m.n.sh.Directory.Monitors(y, r)
 	blamedMonitor := false
-	for _, pred := range m.n.cfg.Directory.Predecessors(y, r) {
+	for _, pred := range m.n.sh.Directory.Predecessors(y, r) {
 		if st.sharesSeen[pred] {
 			continue
 		}
@@ -713,7 +739,7 @@ func (m *monitorState) blameDigestMismatch(r model.Round, y model.NodeID, st *mo
 // verify using the AckExhibit answers (§IV-A's guilt assignment).
 func (m *monitorState) judge(r model.Round) {
 	boundary := r > 0 &&
-		m.n.cfg.Directory.MonitorEpoch(r) != m.n.cfg.Directory.MonitorEpoch(r-1)
+		m.n.sh.Directory.MonitorEpoch(r) != m.n.sh.Directory.MonitorEpoch(r-1)
 	for _, y := range m.monitored {
 		per, ok := m.rounds[r]
 		if !ok {
@@ -790,7 +816,7 @@ func (m *monitorState) judgeExhibitedAck(r model.Round, y, succ model.NodeID, pr
 			Accused: y, Detail: "exhibited ack has a bad signature", Exchange: xid})
 		return
 	}
-	h, err := m.n.cfg.HashParams.DecodeValue(ack.H)
+	h, err := m.n.sh.HashParams.DecodeValue(ack.H)
 	if err != nil || h.Cmp(prev) != 0 {
 		m.n.report(Verdict{Round: r, Kind: VerdictWrongForward,
 			Accused: y, Detail: fmt.Sprintf("exhibited ack of %v mismatches obligation", succ),
@@ -815,8 +841,13 @@ func (m *monitorState) gc(r model.Round) {
 			delete(m.rounds, rr)
 		}
 	}
+	// Ack copies are only consulted at their own round (onAttForward and
+	// onAccusation both key by the in-flight round), so they get a
+	// tighter horizon than the investigation state — they are the
+	// monitor's heaviest per-round buffers.
+	const keepAcks = 2
 	for rr := range m.ackCopies {
-		if rr+keep < r {
+		if rr+keepAcks < r {
 			delete(m.ackCopies, rr)
 		}
 	}

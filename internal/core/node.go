@@ -107,8 +107,12 @@ type sendRound struct {
 // internal mutex: the simulation engine is single-threaded, but the TCP
 // deployment delivers messages from reader goroutines.
 type Node struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	// cfg keeps only the per-node dependencies (identity, endpoint,
+	// behaviour, callbacks); everything session-wide lives once in sh —
+	// the flyweight split that lets 10⁵ nodes share one config plane.
 	cfg    Config
+	sh     *Shared
 	id     model.NodeID
 	hasher *hhash.Hasher
 	hops   hhash.Counter
@@ -146,60 +150,68 @@ type Node struct {
 
 	stats Stats
 
-	// msgK holds the shared per-kind received-message counters (nil
-	// entries without a registry — Inc no-ops); trace is the optional
-	// round-event tracer.
-	msgK  [maxWireKind + 1]*obs.Counter
+	// trace is the optional round-event tracer (copied from sh for the
+	// hot-path nil check).
 	trace *obs.Tracer
+
+	// Round-scoped state is pooled across rounds (the flyweight arena):
+	// at BeginRound the previous round's containers are cleared and kept
+	// for reuse instead of reallocating. Only the container shells are
+	// recycled — byte slices they referenced (acks, attestations, serve
+	// ciphers) may still be in flight or held by monitors and are simply
+	// re-pointed, never overwritten.
+	recvFree *recvRound
+	sendFree *sendRound
+	rexFree  []*recvExchange
+	sexFree  []*sendExchange
+	itemFree []*pendingItem
 }
 
 // maxWireKind bounds the per-kind counter table (wire kinds are 1-based
 // and dense).
 const maxWireKind = wire.KindObligationHandover
 
-// NewNode builds a PAG node from a validated Config.
+// NewNode builds a PAG node from a validated Config. Sessions pass the
+// pre-assembled session plane in cfg.Shared; without one, a private plane
+// is built from the Config's session-wide fields.
 func NewNode(cfg Config) (*Node, error) {
-	if err := cfg.validate(); err != nil {
+	sh := cfg.Shared
+	if sh == nil {
+		sh = NewShared(cfg)
+	}
+	if err := cfg.validate(sh); err != nil {
 		return nil, err
-	}
-	if cfg.PrimeBits == 0 {
-		cfg.PrimeBits = DefaultPrimeBits
-	}
-	switch {
-	case cfg.BuffermapWindow == 0:
-		cfg.BuffermapWindow = DefaultBuffermapWindow
-	case cfg.BuffermapWindow < 0:
-		cfg.BuffermapWindow = 0 // disabled (ablation)
 	}
 	rnd := cfg.Rand
 	if rnd == nil {
 		rnd = rand.Reader
 	}
+	// The stored Config keeps only per-node state: session-wide fields are
+	// read through sh exclusively (a missed access would nil-panic, which
+	// the test suite turns into an immediate regression signal).
+	cfg.Suite, cfg.Directory, cfg.Sources = nil, nil, nil
+	cfg.HashParams = hhash.Params{}
+	cfg.Metrics, cfg.Trace, cfg.Intern, cfg.Shared = nil, nil, nil, nil
 	n := &Node{
 		cfg:         cfg,
+		sh:          sh,
 		id:          cfg.ID,
 		rnd:         rnd,
 		store:       update.NewStore(),
 		pendingNext: make(map[model.UpdateID]*pendingItem),
 		kPrev:       hhash.OneKey(),
 	}
-	n.hasher = hhash.NewHasher(cfg.HashParams, &n.hops)
-	if !cfg.DisablePrimePool {
-		if pool, err := hhash.NewPrimePool(rnd, cfg.PrimeBits, hhash.DefaultPrimePoolTarget); err == nil {
+	n.hasher = hhash.NewHasher(sh.HashParams, &n.hops)
+	if !sh.DisablePrimePool {
+		if pool, err := hhash.NewPrimePool(rnd, sh.PrimeBits, hhash.DefaultPrimePoolTarget); err == nil {
 			n.pool = pool
 		}
 	}
 	n.coeffs = newCoeffStream(uint64(cfg.ID))
-	if cfg.Metrics != nil {
-		for k := uint8(1); k <= maxWireKind; k++ {
-			n.msgK[k] = cfg.Metrics.Counter("pag_core_messages_total",
-				obs.L("kind", wire.KindName(k)))
-		}
-		n.hasher.Instrument(
-			cfg.Metrics.Histogram("pag_hhash_lift_seconds", obs.ClassTimed, nil),
-			cfg.Metrics.Histogram("pag_hhash_verify_seconds", obs.ClassTimed, nil))
+	if sh.Metrics != nil {
+		n.hasher.Instrument(sh.liftHist, sh.verifyHist)
 	}
-	n.trace = cfg.Trace
+	n.trace = sh.Trace
 	n.mon = newMonitorState(n)
 	return n, nil
 }
@@ -253,7 +265,7 @@ func (n *Node) InjectUpdates(us []update.Update) {
 }
 
 func (n *Node) isSource(id model.NodeID) bool {
-	for _, s := range n.cfg.Sources {
+	for _, s := range n.sh.Sources {
 		if s == id {
 			return true
 		}
@@ -281,18 +293,46 @@ func (n *Node) BeginRound(r model.Round) {
 	defer n.mu.Unlock()
 	n.round = r
 
+	// Recycle the previous round's container shells into the node's
+	// free lists (see the Node field comment for the aliasing rules).
+	var items []pendingItem
+	if prev := n.sendCur; prev != nil {
+		items = prev.items[:0]
+		for _, ex := range prev.perSucc {
+			*ex = sendExchange{}
+			n.sexFree = append(n.sexFree, ex)
+		}
+		clear(prev.perSucc)
+		*prev = sendRound{perSucc: prev.perSucc}
+		n.sendFree = prev
+		n.sendCur = nil
+	}
+	if prev := n.recvCur; prev != nil {
+		for _, ex := range prev.exchanges {
+			*ex = recvExchange{}
+			n.rexFree = append(n.rexFree, ex)
+		}
+		clear(prev.exchanges)
+		prev.order = prev.order[:0]
+		n.recvFree = prev
+		n.recvCur = nil
+	}
+
 	// Promote last round's receptions into this round's forward set.
-	items := make([]pendingItem, 0, len(n.pendingNext))
 	for _, it := range n.pendingNext {
 		items = append(items, *it)
+		n.itemFree = append(n.itemFree, it)
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].upd.ID.Less(items[j].upd.ID) })
-	n.pendingNext = make(map[model.UpdateID]*pendingItem)
+	clear(n.pendingNext)
 
 	// Source-minted updates enter the forward set with multiplicity 1,
 	// under a fresh private key so acknowledgements stay unlinkable.
 	if len(n.injected) > 0 {
 		for _, u := range n.injected {
+			// The source publishes its minted content to the interner, so
+			// every receiver's store aliases one session-wide copy.
+			u = n.sh.Intern.Canonical(u)
 			it := pendingItem{upd: u, count: 1}
 			n.store.Add(u, r, 1, true)
 			if e := n.store.Get(u.ID); e != nil {
@@ -306,11 +346,14 @@ func (n *Node) BeginRound(r model.Round) {
 		}
 	}
 
-	send := &sendRound{
-		items:   items,
-		kPrev:   n.kPrev,
-		perSucc: make(map[model.NodeID]*sendExchange),
+	send := n.sendFree
+	if send == nil {
+		send = &sendRound{perSucc: make(map[model.NodeID]*sendExchange)}
+	} else {
+		n.sendFree = nil
 	}
+	send.items = items
+	send.kPrev = n.kPrev
 	// Precompute the expected acknowledgement hash (one modexp).
 	prod := n.hasher.Identity()
 	for _, it := range items {
@@ -325,7 +368,12 @@ func (n *Node) BeginRound(r model.Round) {
 	}
 	send.expectedAckH = n.hasher.Lift(prod, send.kPrev)
 	n.sendCur = send
-	n.recvCur = newRecvRound()
+	if n.recvFree != nil {
+		n.recvCur = n.recvFree
+		n.recvFree = nil
+	} else {
+		n.recvCur = newRecvRound()
+	}
 
 	n.mon.beginRound(r)
 
@@ -333,12 +381,12 @@ func (n *Node) BeginRound(r model.Round) {
 	// monitor epoch moved — the rounds the pre-handover forwarding check
 	// could not cover.
 	dodge := n.cfg.Behavior.SkipServeOnRotation && r > 1 &&
-		n.cfg.Directory.MonitorEpoch(r) != n.cfg.Directory.MonitorEpoch(r-1)
+		n.sh.Directory.MonitorEpoch(r) != n.sh.Directory.MonitorEpoch(r-1)
 
 	// Open the exchange with every successor.
-	succs := n.cfg.Directory.Successors(n.id, r)
+	succs := n.sh.Directory.Successors(n.id, r)
 	for i, succ := range succs {
-		ex := &sendExchange{}
+		ex := n.newSendExchange()
 		send.perSucc[succ] = ex
 		if dodge {
 			ex.skipped = true
@@ -409,7 +457,7 @@ func (n *Node) CloseRound(r model.Round) {
 		// Judgement settled the round's suspect flags; if the monitor
 		// epoch rotates at r+1, hand the accumulated obligations to the
 		// incoming monitors before they are needed.
-		if !n.cfg.NoObligationHandover {
+		if !n.sh.NoObligationHandover {
 			n.mon.handover(r)
 		}
 	}
@@ -430,6 +478,15 @@ func (n *Node) CloseRound(r model.Round) {
 		n.store.DropBefore(r - storeRetentionRounds)
 	}
 	n.mon.gc(r)
+	// Serve ciphertexts are accusation evidence with a MidRound horizon
+	// (raiseAccusations is their only reader); release them at round
+	// close instead of letting the round's heaviest buffers idle until
+	// the next BeginRound recycles the exchange shells.
+	if sr := n.sendCur; sr != nil {
+		for _, ex := range sr.perSucc {
+			ex.serveCipher = nil
+		}
+	}
 	n.stats.RoundsRun++
 
 	if n.trace != nil && n.sendCur != nil {
@@ -474,7 +531,7 @@ func (n *Node) HandleMessage(msg transport.Message) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if msg.Kind <= maxWireKind {
-		n.msgK[msg.Kind].Inc()
+		n.sh.msgK[msg.Kind].Inc()
 	}
 
 	// Round gating only applies to the round-synchronous exchange
@@ -585,7 +642,7 @@ func (n *Node) verifyBody(signer model.NodeID, m wire.BodyMessage, sig []byte, w
 func (n *Node) suiteVerifyBody(signer model.NodeID, m wire.BodyMessage, sig []byte) error {
 	w := wire.GetWriter()
 	defer w.Release()
-	return n.cfg.Suite.Verify(signer, wire.SigningInto(w, m), sig)
+	return n.sh.Suite.Verify(signer, wire.SigningInto(w, m), sig)
 }
 
 // setSig assigns the signature field of any wire message.
@@ -627,7 +684,7 @@ func setSig(m interface{ Kind() uint8 }, sig []byte) {
 // verify checks a signature with op accounting; on failure a BadMessage
 // verdict is raised against the claimed signer.
 func (n *Node) verify(signer model.NodeID, body, sig []byte, what string) bool {
-	err := pki.VerifyCounted(n.cfg.Suite, n.cfg.Identity.Counter(), signer, body, sig)
+	err := pki.VerifyCounted(n.sh.Suite, n.cfg.Identity.Counter(), signer, body, sig)
 	if err != nil {
 		n.report(Verdict{
 			Round: n.round, Kind: VerdictBadMessage, Accused: signer,
@@ -640,7 +697,7 @@ func (n *Node) verify(signer model.NodeID, body, sig []byte, what string) bool {
 
 // encryptTo produces {m}_pk(to) with op accounting.
 func (n *Node) encryptTo(to model.NodeID, plaintext []byte) ([]byte, error) {
-	return pki.EncryptCounted(n.cfg.Suite, n.cfg.Identity.Counter(), to, plaintext)
+	return pki.EncryptCounted(n.sh.Suite, n.cfg.Identity.Counter(), to, plaintext)
 }
 
 // drawPrime issues the next exchange prime: from the pregeneration pool
@@ -651,20 +708,54 @@ func (n *Node) drawPrime() (hhash.Key, error) {
 	if n.pool != nil {
 		return n.pool.Get()
 	}
-	return hhash.GeneratePrimeKey(n.rnd, n.cfg.PrimeBits)
+	return hhash.GeneratePrimeKey(n.rnd, n.sh.PrimeBits)
 }
 
 // embedOf returns the entry's cached embedding, computing and caching it
 // on first use. Embeddings are pure functions of the update bytes and are
 // only ever read afterwards (Lift and Combine never mutate their
 // arguments), so one big.Int is safely shared across rounds, successors
-// and the store entry itself. Embed carries no operation counters, which
-// keeps the cache invisible to Table I accounting.
+// and the store entry itself — and, through the interner, across every
+// node of the session. Embed carries no operation counters, which keeps
+// the cache invisible to Table I accounting.
 func (n *Node) embedOf(e *update.Entry) *big.Int {
 	if e.Embed == nil {
-		e.Embed = n.hasher.Embed(e.Update.CanonicalBytes())
+		e.Embed = n.sh.Intern.SharedEmbed(e.Update, func() *big.Int {
+			return n.hasher.Embed(e.Update.CanonicalBytes())
+		})
 	}
 	return e.Embed
+}
+
+// newRecvExchange, newSendExchange and newPendingItem draw round-scoped
+// shells from the node's free lists (filled by BeginRound's recycling
+// pass), allocating only on pool misses.
+func (n *Node) newRecvExchange() *recvExchange {
+	if k := len(n.rexFree); k > 0 {
+		ex := n.rexFree[k-1]
+		n.rexFree = n.rexFree[:k-1]
+		return ex
+	}
+	return &recvExchange{}
+}
+
+func (n *Node) newSendExchange() *sendExchange {
+	if k := len(n.sexFree); k > 0 {
+		ex := n.sexFree[k-1]
+		n.sexFree = n.sexFree[:k-1]
+		return ex
+	}
+	return &sendExchange{}
+}
+
+func (n *Node) newPendingItem(u update.Update, count uint64, embed *big.Int) *pendingItem {
+	if k := len(n.itemFree); k > 0 {
+		it := n.itemFree[k-1]
+		n.itemFree = n.itemFree[:k-1]
+		*it = pendingItem{upd: u, count: count, embed: embed}
+		return it
+	}
+	return &pendingItem{upd: u, count: count, embed: embed}
 }
 
 // coeffStream is a splitmix64 byte stream seeding batched-verification

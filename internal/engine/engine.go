@@ -236,6 +236,10 @@ func (e *Engine) RunRound() {
 	e.deliveriesC.Add(uint64(delivered))
 	if e.trace != nil {
 		e.trace.Emit("round_end", obs.F("round", r), obs.F("delivered", delivered))
+		// All workers are parked at the last barrier: drain the shard
+		// buffers here so the round's events hit the journal before the
+		// next round opens, in deterministic shard order.
+		e.trace.Flush()
 	}
 	e.roundSpans.SpanEnd(span)
 }

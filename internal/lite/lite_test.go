@@ -1,0 +1,113 @@
+package lite
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/model"
+)
+
+func testPlane(t *testing.T, globalN int) *Plane {
+	t.Helper()
+	return New(Config{GlobalN: globalN, Seed: 7, StreamKbps: 2, UpdateBytes: 64})
+}
+
+// TestSaturationRounds: the epidemic saturation depth is ⌈log_{f+1} N⌉ —
+// each round every holder pushes to Fanout new peers.
+func TestSaturationRounds(t *testing.T) {
+	for _, tc := range []struct {
+		n, fanout, want int
+	}{
+		{1296, 3, 6}, {4096, 4, 6}, {16384, 4, 7}, {131072, 5, 7},
+	} {
+		p := New(Config{GlobalN: tc.n, Fanout: tc.fanout, Seed: 1, StreamKbps: 2, UpdateBytes: 64})
+		if got := p.SatRounds(); got != tc.want {
+			t.Errorf("SatRounds(N=%d, f=%d) = %d, want %d", tc.n, tc.fanout, got, tc.want)
+		}
+		if tc.fanout == model.FanoutFor(tc.n) {
+			continue
+		}
+	}
+}
+
+// TestTrafficMatchesAnalytic: a lite node's modelled bandwidth is the
+// closed-form per-node prediction — that is the whole point of the model.
+func TestTrafficMatchesAnalytic(t *testing.T) {
+	const globalN = 4096
+	p := testPlane(t, globalN)
+	n := p.Node(77)
+	for r := model.Round(1); r <= 6; r++ {
+		n.BeginRound(r)
+		n.CloseRound(r)
+	}
+	n.StartMeasuring()
+	for r := model.Round(7); r <= 12; r++ {
+		n.BeginRound(r)
+		n.CloseRound(r)
+	}
+	got := n.BandwidthKbps()
+	want := analytic.PAGPerNodeKbps(analytic.Params{
+		PayloadKbps: 2, UpdateBytes: 64, N: globalN,
+		Fanout: model.FanoutFor(globalN), Monitors: model.FanoutFor(globalN),
+	})
+	if rel := (got - want) / want; rel > 0.01 || rel < -0.01 {
+		t.Errorf("modelled %v kbps, analytic %v kbps (%.2f%% off)", got, want, 100*rel)
+	}
+}
+
+// TestSuccessorsDeterministicAndValid: topology is a pure hash of
+// (seed, id, round) — repeatable, sorted, self-free, in range.
+func TestSuccessorsDeterministicAndValid(t *testing.T) {
+	const globalN = 1296
+	p := testPlane(t, globalN)
+	q := testPlane(t, globalN)
+	a, b := p.Node(500), q.Node(500)
+	for r := model.Round(1); r <= 4; r++ {
+		a.BeginRound(r)
+		b.BeginRound(r)
+		sa, sb := a.Successors(r), b.Successors(r)
+		if len(sa) == 0 || len(sa) != len(sb) {
+			t.Fatalf("round %d: %d vs %d successors", r, len(sa), len(sb))
+		}
+		if !sort.SliceIsSorted(sa, func(i, j int) bool { return sa[i] < sa[j] }) {
+			t.Errorf("round %d: successors unsorted: %v", r, sa)
+		}
+		for i, id := range sa {
+			if id != sb[i] {
+				t.Errorf("round %d: divergent successor sets %v vs %v", r, sa, sb)
+				break
+			}
+			if id == 500 || id < 1 || int(id) > globalN {
+				t.Errorf("round %d: invalid successor %d", r, id)
+			}
+		}
+	}
+}
+
+// TestContinuityUnderTTL: with the default TTL (the paper's playout
+// delay) saturation beats the deadline and modelled continuity is 1; a
+// TTL below the saturation depth starves it to 0.
+func TestContinuityUnderTTL(t *testing.T) {
+	run := func(ttl int) float64 {
+		p := New(Config{GlobalN: 4096, Seed: 7, StreamKbps: 2, UpdateBytes: 64, TTL: ttl})
+		n := p.Node(9)
+		warm := ttl + 2
+		for r := model.Round(1); r <= model.Round(warm); r++ {
+			n.BeginRound(r)
+			n.CloseRound(r)
+		}
+		n.StartMeasuring()
+		for r := model.Round(warm + 1); r <= model.Round(warm+6); r++ {
+			n.BeginRound(r)
+			n.CloseRound(r)
+		}
+		return n.Continuity()
+	}
+	if c := run(0); c != 1 { // 0 selects the default model.PlayoutDelayRounds
+		t.Errorf("continuity at default TTL = %v, want 1", c)
+	}
+	if c := run(2); c != 0 { // saturation needs 6 rounds; 2 is hopeless
+		t.Errorf("continuity at TTL=2 = %v, want 0", c)
+	}
+}

@@ -605,26 +605,72 @@ func (d *Directory) pick(ep *epoch, x model.NodeID, r model.Round, salt uint64, 
 		uint64(ep.seq)*0x94D049BB133111EB ^
 		salt}
 	n := len(ep.nodes)
-	// Partial shuffle over index space, skipping x when it is a member.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
+	// Partial Fisher–Yates over index space, skipping x when it is a
+	// member. The shuffle only ever touches 2k positions of the virtual
+	// identity permutation, so instead of materialising an n-entry index
+	// slice (O(N) per call — O(N²) per round across a view build) only the
+	// displaced positions are recorded in a small overlay. The RNG stream
+	// and swap sequence are exactly those of the dense version, so the
+	// selection is output-identical (locked in by TestPickMatchesDense).
+	var ov overlay
 	limit := n
-	if self, ok := ep.index[x]; ok {
+	self, hasSelf := ep.index[x]
+	if !hasSelf {
+		self = -1
+	} else {
 		// Move self to the end and shrink, so it is never selected.
-		idx[self], idx[n-1] = idx[n-1], idx[self]
 		limit = n - 1
 	}
 
 	out := make([]model.NodeID, 0, k)
 	for i := 0; i < k && i < limit; i++ {
 		j := i + int(rng.Next()%uint64(limit-i))
-		idx[i], idx[j] = idx[j], idx[i]
-		out = append(out, ep.nodes[idx[i]])
+		vi, vj := ov.get(i, self, n), ov.get(j, self, n)
+		ov.set(i, vj)
+		ov.set(j, vi)
+		out = append(out, ep.nodes[vj])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// overlay is the sparse Fisher–Yates state: the handful of positions whose
+// value differs from the identity permutation (after the self-to-end swap).
+// k is small (the fanout), so a linear scan beats a map.
+type overlay struct {
+	pos []int
+	val []int
+}
+
+// get reads position i of the virtual permutation: overlay hit, else the
+// identity adjusted for the initial self<->last swap.
+func (o *overlay) get(i, self, n int) int {
+	for idx, p := range o.pos {
+		if p == i {
+			return o.val[idx]
+		}
+	}
+	if self >= 0 {
+		if i == self {
+			return n - 1
+		}
+		if i == n-1 {
+			return self
+		}
+	}
+	return i
+}
+
+// set records position i holding v.
+func (o *overlay) set(i, v int) {
+	for idx, p := range o.pos {
+		if p == i {
+			o.val[idx] = v
+			return
+		}
+	}
+	o.pos = append(o.pos, i)
+	o.val = append(o.val, v)
 }
 
 func copyIDs(in []model.NodeID) []model.NodeID {

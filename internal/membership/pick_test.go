@@ -1,0 +1,90 @@
+package membership
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// densePick is the pre-optimisation reference implementation: a partial
+// Fisher–Yates over a materialised n-entry index slice. The sparse overlay
+// version must stay output-identical to it — same RNG stream, same swap
+// sequence — or every historical digest would shift.
+func densePick(seed uint64, ep *epoch, x model.NodeID, r model.Round, salt uint64, k int) []model.NodeID {
+	rng := &model.SplitMix64{State: seed ^
+		uint64(x)*0x9E3779B97F4A7C15 ^
+		uint64(r)*0xBF58476D1CE4E5B9 ^
+		uint64(ep.seq)*0x94D049BB133111EB ^
+		salt}
+	n := len(ep.nodes)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	limit := n
+	if self, ok := ep.index[x]; ok {
+		idx[self], idx[n-1] = idx[n-1], idx[self]
+		limit = n - 1
+	}
+	out := make([]model.NodeID, 0, k)
+	for i := 0; i < k && i < limit; i++ {
+		j := i + int(rng.Next()%uint64(limit-i))
+		idx[i], idx[j] = idx[j], idx[i]
+		out = append(out, ep.nodes[idx[i]])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestPickMatchesDense(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 48, 257} {
+		nodes := make([]model.NodeID, n)
+		for i := range nodes {
+			nodes[i] = model.NodeID(i + 1)
+		}
+		ep := newEpoch(1, 0, nodes)
+		for _, k := range []int{1, 2, 5, 16} {
+			if k >= n {
+				continue
+			}
+			d := &Directory{cfg: Config{Seed: 42, Fanout: k, Monitors: k}}
+			for r := model.Round(0); r < 8; r++ {
+				// Members, the final member (the self-swap edge case),
+				// and a non-member all take the same path.
+				for _, x := range []model.NodeID{nodes[0], nodes[n/2], nodes[n-1], model.NodeID(n + 99)} {
+					got := d.pick(ep, x, r, 0xA5CE55, k)
+					want := densePick(42, ep, x, r, 0xA5CE55, k)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("n=%d k=%d r=%d x=%v: sparse pick %v != dense %v",
+							n, k, r, x, got, want)
+					}
+					for i := 1; i < len(got); i++ {
+						if got[i] == got[i-1] {
+							t.Fatalf("n=%d k=%d r=%d x=%v: duplicate in %v", n, k, r, x, got)
+						}
+					}
+					for _, id := range got {
+						if id == x {
+							t.Fatalf("n=%d k=%d r=%d: pick selected self %v", n, k, r, x)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkPickSparse(b *testing.B) {
+	nodes := make([]model.NodeID, 16384)
+	for i := range nodes {
+		nodes[i] = model.NodeID(i + 1)
+	}
+	ep := newEpoch(0, 0, nodes)
+	d := &Directory{cfg: Config{Seed: 7, Fanout: 15, Monitors: 15}}
+	b.ReportAllocs()
+	for i := 0; b.Loop(); i++ {
+		d.pick(ep, nodes[i%len(nodes)], model.Round(i), 0xA5CE55, 15)
+	}
+}

@@ -201,6 +201,17 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	return r.lookup(name, labels, kindGauge, ClassDet, nil).gauge
 }
 
+// GaugeClass returns the gauge for (name, labels) with an explicit class.
+// Use ClassSched for host-dependent values (memory footprints, sampled
+// queue depths) that must stay outside the determinism boundary. Nil
+// receiver returns nil.
+func (r *Registry) GaugeClass(name string, class Class, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindGauge, class, nil).gauge
+}
+
 // Histogram returns the fixed-bucket histogram for (name, labels) with
 // the given class and ascending upper bounds (+Inf is implicit). Nil
 // receiver returns nil.

@@ -310,6 +310,7 @@ func (e *Engine) RunRound() {
 	e.deliveriesC.Add(uint64(delivered))
 	if e.trace != nil {
 		e.trace.Emit("round_end", obs.F("round", r), obs.F("delivered", delivered))
+		e.trace.Flush() // single-threaded point: deterministic drain order
 	}
 	e.roundSpans.SpanEnd(span)
 }

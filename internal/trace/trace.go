@@ -99,6 +99,10 @@ func Parse(r io.Reader, source int) ([]Event, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("trace: scanning: %w", err)
 	}
+	// The tracer buffers per shard, so a parallel run's file order
+	// interleaves shard drains; seq restores emission order. Stable so
+	// seq-less hand-written fixtures keep their file order.
+	sort.SliceStable(out, func(i, k int) bool { return out[i].Seq < out[k].Seq })
 	return out, nil
 }
 

@@ -70,10 +70,22 @@ type Entry struct {
 
 // Store is a single node's update store. It is not safe for concurrent use;
 // protocol nodes are single-threaded within a round.
+//
+// Entries are allocated from chunked slabs and recycled through a free
+// list when DropBefore retires them: a steady-state node churns ~7 entries
+// per round for dozens of rounds, and slab reuse keeps that churn from
+// ever reaching the garbage collector (the flyweight memory plane; entry
+// *content* is shared across nodes by Interner).
 type Store struct {
 	byID    map[model.UpdateID]*Entry
 	byRound map[model.Round][]model.UpdateID // reception round index
+	free    []*Entry                         // retired entries awaiting reuse
+	chunk   []Entry                          // tail of the current slab
 }
+
+// storeChunkEntries sizes the entry slabs: one allocation covers several
+// rounds of receptions at the paper's stream rate.
+const storeChunkEntries = 32
 
 // NewStore creates an empty store.
 func NewStore() *Store {
@@ -81,6 +93,22 @@ func NewStore() *Store {
 		byID:    make(map[model.UpdateID]*Entry),
 		byRound: make(map[model.Round][]model.UpdateID),
 	}
+}
+
+// alloc hands out a zeroed Entry from the free list or the current slab.
+func (s *Store) alloc() *Entry {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free = s.free[:n-1]
+		*e = Entry{}
+		return e
+	}
+	if len(s.chunk) == 0 {
+		s.chunk = make([]Entry, storeChunkEntries)
+	}
+	e := &s.chunk[0]
+	s.chunk = s.chunk[1:]
+	return e
 }
 
 // Len returns the number of stored updates.
@@ -111,12 +139,12 @@ func (s *Store) Add(u Update, r model.Round, count uint64, forwardable bool) boo
 		}
 		return false
 	}
-	s.byID[u.ID] = &Entry{
-		Update:      u,
-		Received:    r,
-		Count:       count,
-		Forwardable: forwardable,
-	}
+	e := s.alloc()
+	e.Update = u
+	e.Received = r
+	e.Count = count
+	e.Forwardable = forwardable
+	s.byID[u.ID] = e
 	s.byRound[r] = append(s.byRound[r], u.ID)
 	return true
 }
@@ -178,8 +206,15 @@ func (s *Store) DropBefore(r model.Round) int {
 			continue
 		}
 		for _, id := range ids {
-			delete(s.byID, id)
-			dropped++
+			if e, ok := s.byID[id]; ok {
+				// Retired entries are recycled; by the retention horizon
+				// (several playout windows) nothing outside the store still
+				// references them. The shared slices they alias stay owned
+				// by the interner.
+				s.free = append(s.free, e)
+				delete(s.byID, id)
+				dropped++
+			}
 		}
 		delete(s.byRound, rr)
 	}

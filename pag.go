@@ -22,6 +22,7 @@ package pag
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/acting"
 	"repro/internal/core"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/streaming"
 	"repro/internal/transport"
+	"repro/internal/update"
 )
 
 // Protocol selects which system a session runs.
@@ -85,6 +87,13 @@ type QueueBacklog = transport.QueueBacklog
 type SessionConfig struct {
 	// Nodes is the system size, including the source (node 1).
 	Nodes int
+	// MemberIDs optionally names the members explicitly instead of the
+	// dense 1..Nodes numbering — the sampled-cohort scaling mode passes
+	// the rendezvous-selected cohort here so full-fidelity nodes keep
+	// their global identities. Must include SourceID (1) and, when
+	// Nodes is also set, agree with it on the count. Mid-run joiners
+	// are numbered from max(MemberIDs)+1.
+	MemberIDs []model.NodeID
 	// Protocol selects PAG (default), AcTinG or RAC.
 	Protocol Protocol
 	// StreamKbps is the source bitrate (default 300, the paper's Fig 7).
@@ -130,6 +139,12 @@ type SessionConfig struct {
 	// DisableBatchVerify verifies each attestation hash with its own
 	// exponentiation instead of one coefficient-weighted folded equation.
 	DisableBatchVerify bool
+	// DisableFlyweight detaches the session-wide update-content interner:
+	// every node keeps its own payload/signature copies — the pre-flyweight
+	// memory representation, kept as an ablation so the bytes/node claim
+	// stays measurable and the equivalence gate can prove the flyweight
+	// changes no observable (flyweight_gate_test.go).
+	DisableFlyweight bool
 	// Judicial arms the accountability plane's punishment loop: nodes
 	// reaching the conviction threshold are evicted from the membership
 	// and quarantined. The zero value is reporting-only. A scenario with
@@ -186,6 +201,9 @@ type SessionConfig struct {
 func (c SessionConfig) withDefaults() SessionConfig {
 	if c.Protocol == 0 {
 		c.Protocol = ProtocolPAG
+	}
+	if len(c.MemberIDs) > 0 && c.Nodes == 0 {
+		c.Nodes = len(c.MemberIDs)
 	}
 	if c.StreamKbps == 0 {
 		c.StreamKbps = 300
@@ -253,6 +271,12 @@ type Session struct {
 	suite  pki.Suite
 	params hhash.Params
 	dir    *membership.Directory
+	// shared is the flyweight session plane every PAG node references
+	// (one immutable config/roster instead of per-node copies); intern is
+	// the session-wide update-content table inside it (nil under the
+	// DisableFlyweight ablation).
+	shared *core.Shared
+	intern *update.Interner
 
 	pagNodes    map[model.NodeID]*core.Node
 	actingNodes map[model.NodeID]*acting.Node
@@ -360,6 +384,26 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	for i := range ids {
 		ids[i] = model.NodeID(i + 1)
 	}
+	if len(c.MemberIDs) > 0 {
+		if len(c.MemberIDs) != c.Nodes {
+			return nil, fmt.Errorf("pag: %d explicit member ids but Nodes=%d", len(c.MemberIDs), c.Nodes)
+		}
+		copy(ids, c.MemberIDs)
+		hasSource := false
+		var maxID model.NodeID
+		for _, id := range ids {
+			if id == SourceID {
+				hasSource = true
+			}
+			if id > maxID {
+				maxID = id
+			}
+		}
+		if !hasSource {
+			return nil, fmt.Errorf("pag: explicit member ids must include the source %v", SourceID)
+		}
+		s.nextID = maxID + 1
+	}
 	dir, err := membership.New(ids, membership.Config{
 		Seed:                  c.Seed,
 		Fanout:                c.Fanout,
@@ -383,6 +427,26 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	}
 	s.suite = suite
 	s.params = params
+
+	if c.Protocol == ProtocolPAG {
+		if !c.DisableFlyweight {
+			s.intern = update.NewInterner()
+		}
+		s.shared = core.NewShared(core.Config{
+			Suite:                suite,
+			HashParams:           params,
+			Directory:            dir,
+			Sources:              []model.NodeID{SourceID},
+			PrimeBits:            c.PrimeBits,
+			BuffermapWindow:      c.BuffermapWindow,
+			NoObligationHandover: c.DisableObligationHandover,
+			DisablePrimePool:     c.DisablePrimePool,
+			DisableBatchVerify:   c.DisableBatchVerify,
+			Metrics:              c.Obs,
+			Trace:                c.Trace,
+			Intern:               s.intern,
+		})
+	}
 
 	identities := make(map[model.NodeID]pki.Identity, c.Nodes)
 	for _, id := range ids {
@@ -464,6 +528,24 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	// landed, so concurrent node steps hit a read-only snapshot instead
 	// of racing to build it.
 	s.engine.OnRoundStart(func(r model.Round) { s.dir.View(r) })
+	// Expired content leaves the flyweight table at the round top (an
+	// expired update can never be served again, and store entries keep
+	// their aliases alive until each node's own retention GC).
+	if s.intern != nil {
+		s.engine.OnRoundStart(func(r model.Round) { s.intern.DropExpired(r) })
+	}
+	// Live heap per member, sampled at each round top. ClassSched: the
+	// value is a host artifact (GC timing, allocator state), not a
+	// protocol observable — it never enters deterministic snapshots.
+	if c.Obs != nil {
+		memGauge := c.Obs.GaugeClass("pag_mem_bytes_per_node", obs.ClassSched)
+		members := c.Nodes
+		s.engine.OnRoundStart(func(model.Round) {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			memGauge.Set(int64(ms.HeapAlloc) / int64(members))
+		})
+	}
 	ok = true
 	return s, nil
 }

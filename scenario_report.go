@@ -208,5 +208,6 @@ func RunScenarioReport(base SessionConfig, sc scenario.Scenario,
 			obs.F("digest", report.Engine.ReportDigest),
 			obs.F("scenario", sc.Name))
 	}
+	base.Trace.Flush()
 	return report, nil
 }

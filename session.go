@@ -72,24 +72,14 @@ func (s *Session) buildPAGNode(id model.NodeID, suite pki.Suite, identity pki.Id
 		return nil, fmt.Errorf("pag: registering %v: %w", id, err)
 	}
 	node, err = core.NewNode(core.Config{
-		ID:                   id,
-		Suite:                suite,
-		Identity:             identity,
-		HashParams:           params,
-		Directory:            dir,
-		Endpoint:             ep,
-		Sources:              []model.NodeID{SourceID},
-		IsSource:             id == SourceID,
-		PrimeBits:            s.cfg.PrimeBits,
-		BuffermapWindow:      s.cfg.BuffermapWindow,
-		Behavior:             s.cfg.PAGBehaviors[id],
-		NoObligationHandover: s.cfg.DisableObligationHandover,
-		DisablePrimePool:     s.cfg.DisablePrimePool,
-		DisableBatchVerify:   s.cfg.DisableBatchVerify,
-		Metrics:              s.cfg.Obs,
-		Trace:                s.cfg.Trace,
-		Verdicts:             func(v core.Verdict) { s.registry.Submit(v) },
-		OnDeliver:            player.OnDeliver,
+		ID:        id,
+		Identity:  identity,
+		Endpoint:  ep,
+		IsSource:  id == SourceID,
+		Behavior:  s.cfg.PAGBehaviors[id],
+		Shared:    s.shared,
+		Verdicts:  func(v core.Verdict) { s.registry.Submit(v) },
+		OnDeliver: player.OnDeliver,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pag: node %v: %w", id, err)
