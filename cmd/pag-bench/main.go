@@ -119,13 +119,15 @@ func run() int {
 		out     = flag.String("out", "BENCH_engine.json", "output path ('-' for stdout only)")
 		auto    = flag.Bool("auto", true,
 			"re-record the artifact only when this host can improve it: refuse to replace recorded multicore speedups with a single-core run")
-		hhashOut   = flag.String("hhash", "", "also record crypto microbenchmarks to this path (e.g. BENCH_hhash.json)")
-		engineOff  = flag.Bool("no-engine", false, "skip the engine timing (with -hhash: record only the crypto artifact)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this path")
-		memprofile = flag.String("memprofile", "", "write a heap profile (after the runs) to this path")
-		scaleMode  = flag.Bool("scale", false, "record the Fig 9 scaling artifact (BENCH_scale.json) instead of the engine comparison")
-		scaleOut   = flag.String("scaleout", "BENCH_scale.json", "output path for -scale ('-' for stdout only)")
-		short      = flag.Bool("short", false, "with -scale: CI smoke — N=1296 only, assert the bytes/node budget and cohort byte-identity, write no artifact")
+		hhashOut      = flag.String("hhash", "", "also record crypto microbenchmarks to this path (e.g. BENCH_hhash.json)")
+		engineOff     = flag.Bool("no-engine", false, "skip the engine timing (with -hhash: record only the crypto artifact)")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the benchmark runs to this path")
+		memprofile    = flag.String("memprofile", "", "write a heap profile (after the runs) to this path")
+		scaleMode     = flag.Bool("scale", false, "record the Fig 9 scaling artifact (BENCH_scale.json) instead of the engine comparison")
+		scaleOut      = flag.String("scaleout", "BENCH_scale.json", "output path for -scale ('-' for stdout only)")
+		transportMode = flag.Bool("transport", false, "record the wire-speed artifact (BENCH_transport.json): mem vs tcp vs udp rounds/s and bytes/syscall at N=144 and N=432")
+		transportOut  = flag.String("transportout", "BENCH_transport.json", "output path for -transport ('-' for stdout only)")
+		short         = flag.Bool("short", false, "CI smoke: with -scale, N=1296 budget + cohort identity; with -transport, batching invariants + artifact validation; writes no artifact")
 	)
 	flag.Parse()
 
@@ -165,6 +167,9 @@ func run() int {
 	}
 	if *scaleMode {
 		return runScaleBench(*scaleOut, *stream, *modBits, *workers, *seed, *short)
+	}
+	if *transportMode {
+		return runTransportBench(*transportOut, *stream, *modBits, *seed, *auto, *short)
 	}
 	if *engineOff {
 		return 0

@@ -68,7 +68,7 @@ func run() int {
 		scName    = flag.String("scenario", "", "canned scenario name (see -list)")
 		name      = flag.String("name", "", "alias of -scenario (kept for compatibility)")
 		file      = flag.String("file", "", "scenario JSON file (overrides -scenario)")
-		netKind   = flag.String("net", "mem", "transport: mem (deterministic in-memory) or tcp (loopback sockets)")
+		netKind   = flag.String("net", "mem", "transport: mem (deterministic in-memory), tcp (loopback sockets) or udp (loss-tolerant datagrams)")
 		protocols = flag.String("protocol", "all", "pag|acting|rac|all")
 		nodes     = flag.Int("nodes", 16, "initial system size, including the source")
 		stream    = flag.Int("stream", 60, "stream bitrate in kbps")
@@ -175,8 +175,19 @@ func run() int {
 			tn.SetStepped(2 * time.Second)
 			return tn
 		}
+	case "udp":
+		// Loopback datagrams: the loss-tolerant stream path. Monitoring
+		// traffic is fire-and-forget; the 5-message exchange and the
+		// judicial chain ride the ack/retransmit layer.
+		cfg.Workers = 0
+		cfg.NewNetwork = func() transport.FaultyNetwork {
+			un := transport.NewUDPNet(nil)
+			un.SetDynamic("127.0.0.1")
+			un.SetStepped(2 * time.Second)
+			return un
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "pag-scenario: unknown transport %q (mem|tcp)\n", *netKind)
+		fmt.Fprintf(os.Stderr, "pag-scenario: unknown transport %q (mem|tcp|udp)\n", *netKind)
 		return 2
 	}
 

@@ -92,10 +92,23 @@ type FaultPlane struct {
 	// queues holds each capped sender's deferred messages in FIFO order;
 	// round counts BeginRound calls and prices queue ages, and deadline
 	// is the age (in rounds spent waiting) beyond which a queued message
-	// expires; <= 0 disables expiry.
-	queues   map[model.NodeID][]queuedMsg
-	round    uint64
-	deadline int
+	// expires; <= 0 disables expiry. deadlines holds per-node overrides
+	// (a node serving latecomers may tolerate staler queued bytes than
+	// the global playout window).
+	queues    map[model.NodeID][]queuedMsg
+	round     uint64
+	deadline  int
+	deadlines map[model.NodeID]int
+
+	// dlCaps/dlSpent are the download-side mirror of the upload model: a
+	// per-round inbound byte budget applied at delivery. Unlike uploads
+	// there is no queue — a receiver's NIC has nowhere to push back, so
+	// over-budget arrivals are discarded (dlDropped). The check never
+	// rolls the PRNG, so with uniform message sizes the per-script drop
+	// count is arrival-order independent and agrees across transports.
+	dlCaps    map[model.NodeID]uint64
+	dlSpent   map[model.NodeID]uint64
+	dlDropped uint64
 
 	dropped  uint64
 	deferred uint64
@@ -114,13 +127,14 @@ type FaultPlane struct {
 // ClassDet: admission outcomes are pure functions of budgets, ages and
 // the seeded PRNG, never of scheduling.
 type planeObs struct {
-	admitted *obs.Counter
-	dropped  *obs.Counter
-	deferred *obs.Counter
-	released *obs.Counter
-	expired  *obs.Counter
-	depth    *obs.Gauge
-	trace    *obs.Tracer
+	admitted  *obs.Counter
+	dropped   *obs.Counter
+	deferred  *obs.Counter
+	released  *obs.Counter
+	expired   *obs.Counter
+	dlDropped *obs.Counter
+	depth     *obs.Gauge
+	trace     *obs.Tracer
 }
 
 // faultSeedMix is the PRNG whitening constant shared by seeded and default
@@ -130,12 +144,15 @@ const faultSeedMix = 0x9E3779B97F4A7C15
 // NewFaultPlane creates a fault plane describing a perfect network.
 func NewFaultPlane() *FaultPlane {
 	return &FaultPlane{
-		rng:      model.SplitMix64{State: faultSeedMix},
-		down:     make(map[model.NodeID]bool),
-		caps:     make(map[model.NodeID]uint64),
-		spent:    make(map[model.NodeID]uint64),
-		queues:   make(map[model.NodeID][]queuedMsg),
-		deadline: DefaultQueueDeadlineRounds,
+		rng:       model.SplitMix64{State: faultSeedMix},
+		down:      make(map[model.NodeID]bool),
+		caps:      make(map[model.NodeID]uint64),
+		spent:     make(map[model.NodeID]uint64),
+		queues:    make(map[model.NodeID][]queuedMsg),
+		deadline:  DefaultQueueDeadlineRounds,
+		deadlines: make(map[model.NodeID]int),
+		dlCaps:    make(map[model.NodeID]uint64),
+		dlSpent:   make(map[model.NodeID]uint64),
 	}
 }
 
@@ -150,13 +167,14 @@ func (p *FaultPlane) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.o = planeObs{
-		admitted: reg.Counter("pag_net_admitted_total"),
-		dropped:  reg.Counter("pag_net_dropped_total"),
-		deferred: reg.Counter("pag_net_deferred_total"),
-		released: reg.Counter("pag_net_released_total"),
-		expired:  reg.Counter("pag_net_expired_total"),
-		depth:    reg.Gauge("pag_net_queue_depth"),
-		trace:    tr,
+		admitted:  reg.Counter("pag_net_admitted_total"),
+		dropped:   reg.Counter("pag_net_dropped_total"),
+		deferred:  reg.Counter("pag_net_deferred_total"),
+		released:  reg.Counter("pag_net_released_total"),
+		expired:   reg.Counter("pag_net_expired_total"),
+		dlDropped: reg.Counter("pag_net_dl_dropped_total"),
+		depth:     reg.Gauge("pag_net_queue_depth"),
+		trace:     tr,
 	}
 }
 
@@ -279,6 +297,96 @@ func (p *FaultPlane) SetQueueDeadline(rounds int) {
 	p.deadline = rounds
 }
 
+// SetQueueDeadlineFor overrides the queue deadline of one node (a slow
+// uplink serving latecomers may tolerate staler bytes than the global
+// playout window, or expire sooner). rounds == 0 removes the override —
+// the node falls back to the global deadline — and rounds < 0 disables
+// expiry for the node entirely.
+func (p *FaultPlane) SetQueueDeadlineFor(id model.NodeID, rounds int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rounds == 0 {
+		delete(p.deadlines, id)
+		return
+	}
+	p.deadlines[id] = rounds
+}
+
+// deadlineFor resolves a node's effective queue deadline, with p.mu held.
+func (p *FaultPlane) deadlineFor(id model.NodeID) int {
+	if d, ok := p.deadlines[id]; ok {
+		return d
+	}
+	return p.deadline
+}
+
+// SetDownloadCap bounds a node's inbound bytes per round (0 removes the
+// cap) — the download side of the paper's asymmetric-link model (§V-C
+// pairs constrained uplinks with ADSL-style downlinks). There is no
+// inbound queue: a receiver cannot defer what peers already sent, so
+// over-budget arrivals are discarded and counted in DownloadDropped.
+func (p *FaultPlane) SetDownloadCap(id model.NodeID, bytesPerRound uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if bytesPerRound == 0 {
+		delete(p.dlCaps, id)
+		return
+	}
+	p.dlCaps[id] = bytesPerRound
+}
+
+// SetDownloadCapKbps sets a node's download cap from a link rate in kbps
+// (<= 0 removes the cap), sharing the upload side's kbps→bytes-per-round
+// conversion so the two directions cannot drift.
+func (p *FaultPlane) SetDownloadCapKbps(id model.NodeID, kbps int) {
+	if kbps <= 0 {
+		p.SetDownloadCap(id, 0)
+		return
+	}
+	p.SetDownloadCap(id, uint64(kbps)*1000/8*model.RoundDurationSeconds)
+}
+
+// AdmitInbound applies the receiver's download cap to one message that
+// already survived the send-side plane, reporting whether it is
+// delivered. The sender is charged either way (the bytes crossed the
+// wire); a false return means the receiver's NIC discarded the message —
+// the caller must not deliver or charge the receiver. Like the upload
+// rule, an oversized message passes on an untouched round rather than
+// wedging forever. No PRNG is consulted, so for uniform message sizes the
+// drop count is independent of arrival order and agrees across
+// transports.
+func (p *FaultPlane) AdmitInbound(msg Message) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	limit, ok := p.dlCaps[msg.To]
+	if !ok {
+		return true
+	}
+	size := uint64(msg.WireSize())
+	if p.dlSpent[msg.To] > 0 && p.dlSpent[msg.To]+size > limit {
+		p.dlDropped++
+		p.dropped++
+		p.o.dlDropped.Inc()
+		p.o.dropped.Inc()
+		if p.o.trace != nil {
+			p.o.trace.Emit("net_dl_drop", obs.F("round", p.round),
+				obs.F("from", msg.From), obs.F("to", msg.To),
+				obs.F("kind", msg.Kind), obs.F("size", msg.WireSize()))
+		}
+		return false
+	}
+	p.dlSpent[msg.To] += size
+	return true
+}
+
+// DownloadDropped returns how many messages receivers' download caps
+// discarded (a subset of Dropped).
+func (p *FaultPlane) DownloadDropped() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dlDropped
+}
+
 // BeginRound opens a round at the link model: it expires over-age queued
 // messages, resets the per-round upload budgets, and releases as much of
 // each node's backlog as the fresh budget allows — in deterministic order
@@ -292,6 +400,9 @@ func (p *FaultPlane) BeginRound() (released []Message) {
 	defer p.mu.Unlock()
 	p.round++
 	p.spent = make(map[model.NodeID]uint64, len(p.spent))
+	if len(p.dlSpent) > 0 {
+		p.dlSpent = make(map[model.NodeID]uint64, len(p.dlSpent))
+	}
 	if len(p.queues) == 0 {
 		p.o.depth.Set(0)
 		return nil
@@ -308,9 +419,12 @@ func (p *FaultPlane) BeginRound() (released []Message) {
 		// during round r has age (round − r); it expires once the age
 		// exceeds the deadline — i.e. it survived `deadline` full rounds
 		// of release opportunities.
+		// Per-node overrides resolve here, so a node's effective playout
+		// window prices its own queue.
+		deadline := p.deadlineFor(id)
 		i := 0
 		for ; i < len(q); i++ {
-			if p.deadline <= 0 || p.round-q[i].round <= uint64(p.deadline) {
+			if deadline <= 0 || p.round-q[i].round <= uint64(deadline) {
 				break
 			}
 			p.expired++
@@ -611,6 +725,7 @@ func (p *FaultPlane) resetCounters() {
 	p.dropped = 0
 	p.deferred = 0
 	p.expired = 0
+	p.dlDropped = 0
 }
 
 // ---------------------------------------------------------------------------
@@ -650,7 +765,8 @@ type FaultyNetwork interface {
 	Dropped() uint64
 	// TotalTraffic sums all per-node traffic counters.
 	TotalTraffic() Traffic
-	// Name identifies the transport ("mem" or "tcp") for run metadata.
+	// Name identifies the transport ("mem", "tcp" or "udp") for run
+	// metadata.
 	Name() string
 	// Close releases the transport's resources (no-op for MemNet).
 	Close() error
@@ -659,4 +775,5 @@ type FaultyNetwork interface {
 var (
 	_ FaultyNetwork = (*MemNet)(nil)
 	_ FaultyNetwork = (*TCPNet)(nil)
+	_ FaultyNetwork = (*UDPNet)(nil)
 )

@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Connection multiplexing. Before the mux every endpoint owned a private
+// dial cache, so a loopback session of N nodes opened O(N²) sockets —
+// and tcpEndpoint.conn dialed while holding the endpoint lock, letting
+// one slow peer stall every unrelated send from that node. The mux keys
+// outbound connections by destination address and shares them across all
+// endpoints of the process (each destination address is one listener, so
+// frames from different local senders interleave safely on one stream:
+// every frame carries its own from field). Dials run outside all locks
+// with singleflight per address — concurrent senders to a cold
+// destination wait on one dial instead of racing their own.
+
+// muxConn is one shared outbound connection and its batching writer.
+type muxConn struct {
+	conn net.Conn
+	w    *connWriter
+}
+
+// dialCall is a singleflight slot: the first caller dials, later callers
+// wait on done.
+type dialCall struct {
+	done chan struct{}
+	mc   *muxConn
+	err  error
+}
+
+// connMux is the process-wide (per-TCPNet) outbound connection cache.
+type connMux struct {
+	net *TCPNet
+
+	mu    sync.Mutex
+	conns map[string]*muxConn
+	dials map[string]*dialCall
+}
+
+func newConnMux(t *TCPNet) *connMux {
+	return &connMux{
+		net:   t,
+		conns: make(map[string]*muxConn),
+		dials: make(map[string]*dialCall),
+	}
+}
+
+// get returns the shared connection to addr, dialing it if needed. The
+// dial happens outside cm.mu (and outside every endpoint lock — the
+// satellite fix): other senders to the same cold address join the
+// in-flight dial, senders to other addresses are never blocked.
+func (cm *connMux) get(addr string) (*muxConn, error) {
+	cm.mu.Lock()
+	if mc, ok := cm.conns[addr]; ok {
+		cm.mu.Unlock()
+		return mc, nil
+	}
+	if call, ok := cm.dials[addr]; ok {
+		cm.mu.Unlock()
+		<-call.done
+		return call.mc, call.err
+	}
+	call := &dialCall{done: make(chan struct{})}
+	cm.dials[addr] = call
+	cm.mu.Unlock()
+
+	conn, err := net.Dial("tcp", addr)
+	cm.mu.Lock()
+	delete(cm.dials, addr)
+	if err != nil {
+		call.err = fmt.Errorf("transport: dial %s: %w", addr, err)
+	} else {
+		call.mc = &muxConn{conn: conn, w: newConnWriter(cm.net, conn)}
+		cm.conns[addr] = call.mc
+	}
+	cm.mu.Unlock()
+	close(call.done)
+	return call.mc, call.err
+}
+
+// drop removes a dead connection from the cache (the next sender
+// re-dials) and unwinds anything still pending on its writer.
+func (cm *connMux) drop(addr string, mc *muxConn) {
+	cm.mu.Lock()
+	if cm.conns[addr] == mc {
+		delete(cm.conns, addr)
+	}
+	cm.mu.Unlock()
+	mc.w.fail(fmt.Errorf("transport: connection to %s dropped", addr))
+	_ = mc.conn.Close()
+}
+
+// dropAddr closes and forgets the connection to addr, if any — the
+// Unregister path: a departed id's peers must see their cached
+// connection die.
+func (cm *connMux) dropAddr(addr string) {
+	cm.mu.Lock()
+	mc := cm.conns[addr]
+	delete(cm.conns, addr)
+	cm.mu.Unlock()
+	if mc != nil {
+		mc.w.fail(fmt.Errorf("transport: destination %s unregistered", addr))
+		_ = mc.conn.Close()
+	}
+}
+
+// flushAll flushes every cached connection's writer once; dead
+// connections are dropped so their next use re-dials.
+func (cm *connMux) flushAll() {
+	cm.mu.Lock()
+	type entry struct {
+		addr string
+		mc   *muxConn
+	}
+	all := make([]entry, 0, len(cm.conns))
+	for addr, mc := range cm.conns {
+		all = append(all, entry{addr, mc})
+	}
+	cm.mu.Unlock()
+	for _, e := range all {
+		if err := e.mc.w.flush(); err != nil {
+			cm.drop(e.addr, e.mc)
+		}
+	}
+}
+
+// closeAll tears down every cached connection.
+func (cm *connMux) closeAll() {
+	cm.mu.Lock()
+	conns := cm.conns
+	cm.conns = make(map[string]*muxConn)
+	cm.mu.Unlock()
+	for addr, mc := range conns {
+		mc.w.fail(fmt.Errorf("transport: network closed (%s)", addr))
+		_ = mc.conn.Close()
+	}
+}

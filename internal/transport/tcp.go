@@ -1,10 +1,8 @@
 package transport
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -15,9 +13,10 @@ import (
 
 // TCPNet is a real TCP transport implementing FaultyNetwork. Each
 // registered node listens on its address from the address book; outgoing
-// connections are dialed lazily and kept open. It backs the
-// cluster-deployment analogue of the paper's Grid'5000 experiment (48
-// machines × 9 instances, §VII-A).
+// connections are dialed lazily through a process-wide mux (one shared
+// connection per destination address, singleflight dial — see mux.go)
+// and kept open. It backs the cluster-deployment analogue of the paper's
+// Grid'5000 experiment (48 machines × 9 instances, §VII-A).
 //
 // Since the fault-plane extraction, TCPNet carries the same scripted
 // fault surface as MemNet — loss, partitions, down nodes, queued upload
@@ -32,12 +31,28 @@ import (
 // run of the same script, not byte-identical (MemNet's canonical merge
 // order is what buys bytes). The queue machinery never rolls the PRNG,
 // which is why the Deferred/CapExpired counters agree exactly across the
-// two transports for the same per-sender send sequence.
+// two transports for the same per-sender send sequence. Write batching
+// does not move the admission point: Admit still runs inside Send, in
+// send order — only the syscall is deferred to the phase flush.
 //
 // Traffic accounting mirrors MemNet: every message is charged
 // Message.WireSize() (HeaderBytes framing, not the raw 13-byte TCP frame
 // header), so per-node bandwidth numbers are comparable across
-// transports.
+// transports. The wire-level truth — syscalls, frames, bytes — is
+// tracked separately in IOStats.
+//
+// # Batched I/O
+//
+// In stepped mode outbound frames coalesce in per-connection writers
+// (batch.go) and leave in one syscall per destination per engine phase:
+// BeginRound flushes after the backlog drain, DeliverAll flushes at the
+// top of every pass. Multiple pending frames travel as a single jumbo
+// frame the receiver unpacks transparently. In direct (wall-clock) mode
+// every Send flushes immediately — the live deployment keeps per-message
+// latency. The receive side slices payloads zero-copy out of pooled
+// ref-counted arenas (wire.Arena, frame.go): one read syscall drains
+// everything the kernel buffered, and an arena is recycled unless one of
+// its payloads escaped to a handler that may retain it.
 //
 // # Dynamic roster
 //
@@ -68,10 +83,13 @@ type TCPNet struct {
 	done    chan struct{}
 
 	faults *FaultPlane
+	mux    *connMux
+	io     ioCounters
 
 	// stepped-mode state: inbox holds arrived-but-undelivered messages;
-	// inflight counts frames written to a socket and not yet enqueued
-	// (stepped) or handled (direct). delivered counts handler invocations.
+	// inflight counts frames enqueued for the wire and not yet enqueued
+	// (stepped) or handled (direct) at the receiver. delivered counts
+	// handler invocations.
 	stepped   bool
 	quiesce   time.Duration // max DeliverAll wait; 0 = default
 	inboxMu   sync.Mutex
@@ -89,7 +107,7 @@ func NewTCPNet(book map[model.NodeID]string) *TCPNet {
 	for id, addr := range book {
 		cp[id] = addr
 	}
-	return &TCPNet{
+	t := &TCPNet{
 		book:    cp,
 		dynIDs:  make(map[model.NodeID]bool),
 		nodes:   make(map[model.NodeID]*tcpEndpoint),
@@ -97,6 +115,8 @@ func NewTCPNet(book map[model.NodeID]string) *TCPNet {
 		faults:  NewFaultPlane(),
 		done:    make(chan struct{}),
 	}
+	t.mux = newConnMux(t)
+	return t
 }
 
 // Faults returns the network's fault plane.
@@ -104,6 +124,10 @@ func (t *TCPNet) Faults() *FaultPlane { return t.faults }
 
 // Name identifies the transport for run metadata.
 func (t *TCPNet) Name() string { return "tcp" }
+
+// IOStats returns a snapshot of the wire-level operation counters:
+// frames, syscalls, raw bytes and jumbo aggregates.
+func (t *TCPNet) IOStats() IOStats { return t.io.snapshot() }
 
 // Dropped returns the fault plane's combined drop counter.
 func (t *TCPNet) Dropped() uint64 { return t.faults.Dropped() }
@@ -124,8 +148,9 @@ func (t *TCPNet) CapDrops() uint64 { return t.faults.CapDrops() }
 // BeginRound runs the link model's round-boundary drain: the fault plane
 // expires over-age queued messages, resets the per-round upload budgets
 // and releases the backlog the fresh budgets allow; the released messages
-// are written to the sockets here, ahead of the round's fresh traffic
-// (FIFO pacing at the NIC).
+// are enqueued to the sockets here, ahead of the round's fresh traffic
+// (FIFO pacing at the NIC), and flushed once per destination at the end
+// of the drain.
 func (t *TCPNet) BeginRound() {
 	released := t.faults.BeginRound()
 	if len(released) == 0 {
@@ -135,14 +160,13 @@ func (t *TCPNet) BeginRound() {
 	// runs BeginRound between rounds, so registrations cannot legitimately
 	// move under it, and a pressured release is hundreds of messages.
 	t.mu.Lock()
-	senders := make(map[model.NodeID]*tcpEndpoint, len(t.nodes))
-	for id, ep := range t.nodes {
-		senders[id] = ep
+	senders := make(map[model.NodeID]bool, len(t.nodes))
+	for id := range t.nodes {
+		senders[id] = true
 	}
 	t.mu.Unlock()
 	for _, msg := range released {
 		size := uint64(msg.WireSize())
-		ep := senders[msg.From]
 		// Post-cap admission runs in release order — the same
 		// deterministic sequence MemNet replays at its merge — and it
 		// runs even for a sender that deregistered while its backlog
@@ -153,7 +177,7 @@ func (t *TCPNet) BeginRound() {
 		// mirror MemNet's surviving-endpoint delivery: it is treated as
 		// a write failure — budget refunded, nothing charged.
 		outcome := t.faults.AdmitReleased(msg)
-		if ep == nil {
+		if !senders[msg.From] {
 			if outcome == OutcomePass {
 				t.faults.refundSpent(msg.From, size)
 			} else {
@@ -165,10 +189,9 @@ func (t *TCPNet) BeginRound() {
 		if outcome != OutcomePass {
 			continue
 		}
-		if err := ep.transmit(msg.To, msg.Kind, msg.Payload, size); err != nil {
-			continue // transmit already refunded the charge
-		}
+		_ = t.sendFrame(msg.From, msg.To, msg.Kind, msg.Payload, size, false)
 	}
+	t.FlushAll()
 }
 
 // SetDynamic enables the dynamic roster: Register for an id with no book
@@ -183,8 +206,9 @@ func (t *TCPNet) SetDynamic(host string) {
 
 // SetStepped switches delivery into the round engines' stepped contract:
 // inbound messages queue until DeliverAll drains them on the calling
-// goroutine. maxWait bounds one DeliverAll's quiescence wait (0 picks a
-// default). Call before traffic flows.
+// goroutine, and outbound frames coalesce until the next phase flush.
+// maxWait bounds one DeliverAll's quiescence wait (0 picks a default).
+// Call before traffic flows.
 func (t *TCPNet) SetStepped(maxWait time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -230,7 +254,6 @@ func (t *TCPNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
 		id:       id,
 		handler:  h,
 		ln:       ln,
-		conns:    make(map[model.NodeID]net.Conn),
 		accepted: make(map[net.Conn]struct{}),
 	}
 	t.mu.Lock()
@@ -260,18 +283,20 @@ func (t *TCPNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
 	return ep, nil
 }
 
-// Unregister detaches a node mid-run: its listener and connections —
-// dialed and accepted — close, so the id really leaves the wire (peers'
-// cached connections to it die on their next write). A dynamically
-// published address is retracted, so later sends fail with "unknown
-// destination" before touching the fault plane (MemNet's accounting for
-// departed destinations) and a re-registered id gets a fresh ephemeral
-// port; static roster entries stay (the deployment's address book is
-// configuration, not state). Traffic counters survive for post-mortem
-// accounting. It reports whether the node was registered.
+// Unregister detaches a node mid-run: its listener and inbound
+// connections close, and the mux drops the shared outbound connection to
+// it, so the id really leaves the wire (peers' next write to a stale
+// handle fails and the re-dial is refused by the dead listener). A
+// dynamically published address is retracted, so later sends fail with
+// "unknown destination" before touching the fault plane (MemNet's
+// accounting for departed destinations) and a re-registered id gets a
+// fresh ephemeral port; static roster entries stay (the deployment's
+// address book is configuration, not state). Traffic counters survive for
+// post-mortem accounting. It reports whether the node was registered.
 func (t *TCPNet) Unregister(id model.NodeID) bool {
 	t.mu.Lock()
 	ep, ok := t.nodes[id]
+	addr := t.book[id]
 	if ok {
 		delete(t.nodes, id)
 		if t.dynIDs[id] {
@@ -282,6 +307,9 @@ func (t *TCPNet) Unregister(id model.NodeID) bool {
 	t.mu.Unlock()
 	if !ok {
 		return false
+	}
+	if addr != "" {
+		t.mux.dropAddr(addr)
 	}
 	ep.close()
 	return true
@@ -351,6 +379,44 @@ func (t *TCPNet) TotalTraffic() Traffic {
 	return total
 }
 
+// sendFrame enqueues an already-admitted, already-charged frame onto the
+// shared connection to its destination; flushNow forces an immediate
+// syscall (direct mode). On dial or write failure the charge and the
+// round budget are refunded (the bytes never left the NIC).
+func (t *TCPNet) sendFrame(from, to model.NodeID, kind uint8, payload []byte, size uint64, flushNow bool) error {
+	t.mu.Lock()
+	addr, ok := t.book[to]
+	t.mu.Unlock()
+	if !ok {
+		t.unchargeSend(from, size)
+		return fmt.Errorf("transport: unknown destination %v", to)
+	}
+	mc, err := t.mux.get(addr)
+	if err != nil {
+		t.unchargeSend(from, size)
+		return err
+	}
+	t.inflight.Add(1)
+	if err := mc.w.enqueue(from, to, kind, payload, size); err != nil {
+		// enqueue already unwound the charge and inflight slot.
+		t.mux.drop(addr, mc)
+		return fmt.Errorf("transport: write to %v: %w", to, err)
+	}
+	if flushNow {
+		if err := mc.w.flush(); err != nil {
+			t.mux.drop(addr, mc)
+			return fmt.Errorf("transport: write to %v: %w", to, err)
+		}
+	}
+	return nil
+}
+
+// FlushAll pushes every connection's pending frames onto the wire — one
+// syscall per destination. The round engines reach it through BeginRound
+// and DeliverAll; a direct-mode driver with its own batching window may
+// call it explicitly.
+func (t *TCPNet) FlushAll() { t.mux.flushAll() }
+
 // defaultQuiesce bounds one DeliverAll wait when SetStepped was not given
 // an explicit budget: generous against handler cascades, tight enough
 // that a lost peer cannot stall a round for long.
@@ -369,11 +435,12 @@ const defaultQuiesce = 2 * time.Second
 // barrier contract.
 const quiesceIdle = 150 * time.Millisecond
 
-// DeliverAll waits until the wire quiesces. In stepped mode it drains the
-// inbox on the calling goroutine (handlers may send more; the cascade is
-// followed until nothing is in flight), returning how many messages were
-// handed to handlers. In direct mode handlers already ran on the reader
-// goroutines, so it only waits for in-flight frames to settle.
+// DeliverAll waits until the wire quiesces. In stepped mode it flushes
+// the batched writers and drains the inbox on the calling goroutine
+// (handlers may send more; the cascade is flushed and followed until
+// nothing is in flight), returning how many messages were handed to
+// handlers. In direct mode handlers already ran on the reader goroutines,
+// so it only waits for in-flight frames to settle.
 //
 // Quiescence is inflight == 0 (exact, the fast path) or no observable
 // progress for quiesceIdle (the leaked-frame fallback); the configured
@@ -393,6 +460,10 @@ func (t *TCPNet) DeliverAll() int {
 	lastInflight := t.inflight.Load()
 	lastProgress := time.Now()
 	for {
+		// Push anything batched (the phase's sends, or a cascade's) onto
+		// the wire before judging quiescence: enqueued frames count as
+		// inflight, so an unflushed writer would otherwise stall the loop.
+		t.FlushAll()
 		if stepped && t.drainInbox() {
 			lastProgress = time.Now()
 			continue
@@ -455,6 +526,7 @@ func (t *TCPNet) Close() error {
 		eps = append(eps, ep)
 	}
 	t.mu.Unlock()
+	t.mux.closeAll()
 	for _, ep := range eps {
 		ep.close()
 	}
@@ -469,24 +541,22 @@ type tcpEndpoint struct {
 	ln      net.Listener
 
 	mu       sync.Mutex
-	conns    map[model.NodeID]net.Conn // dialed, keyed by destination
-	accepted map[net.Conn]struct{}     // inbound, closed on teardown
+	accepted map[net.Conn]struct{} // inbound, closed on teardown
 }
 
 func (e *tcpEndpoint) NodeID() model.NodeID { return e.id }
-
-// frame layout: from(4) to(4) kind(1) len(4) payload.
-const _tcpFrameHeader = 4 + 4 + 1 + 4
 
 // Send implements Endpoint. The fault plane admits, queues or drops the
 // message before it touches a socket: a message beyond the upload budget
 // waits in the link queue uncharged (it is charged when a later round's
 // budget releases it onto the wire), a lost one is charged to the sender
 // only — exactly MemNet's accounting, applied at the NIC instead of the
-// merge point.
+// merge point. Admission runs here, in send order, regardless of when the
+// batched frame's syscall happens.
 func (e *tcpEndpoint) Send(to model.NodeID, kind uint8, payload []byte) error {
 	e.net.mu.Lock()
 	_, known := e.net.book[to]
+	stepped := e.net.stepped
 	e.net.mu.Unlock()
 	if !known {
 		return fmt.Errorf("transport: unknown destination %v", to)
@@ -502,56 +572,7 @@ func (e *tcpEndpoint) Send(to model.NodeID, kind uint8, payload []byte) error {
 		return nil
 	}
 	e.net.charge(e.id, false, size)
-	return e.transmit(to, kind, payload, size)
-}
-
-// transmit writes an already-admitted, already-charged frame to the
-// destination's connection; on dial or write failure the charge and the
-// round budget are refunded (the bytes never left the NIC).
-func (e *tcpEndpoint) transmit(to model.NodeID, kind uint8, payload []byte, size uint64) error {
-	conn, err := e.conn(to)
-	if err != nil {
-		e.net.unchargeSend(e.id, size)
-		return err
-	}
-	frame := make([]byte, _tcpFrameHeader+len(payload))
-	binary.BigEndian.PutUint32(frame[0:], uint32(e.id))
-	binary.BigEndian.PutUint32(frame[4:], uint32(to))
-	frame[8] = kind
-	binary.BigEndian.PutUint32(frame[9:], uint32(len(payload)))
-	copy(frame[_tcpFrameHeader:], payload)
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.net.inflight.Add(1)
-	if _, err := conn.Write(frame); err != nil {
-		e.net.inflight.Add(-1)
-		e.net.unchargeSend(e.id, size)
-		delete(e.conns, to) // force re-dial next time
-		_ = conn.Close()
-		return fmt.Errorf("transport: write to %v: %w", to, err)
-	}
-	return nil
-}
-
-func (e *tcpEndpoint) conn(to model.NodeID) (net.Conn, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if c, ok := e.conns[to]; ok {
-		return c, nil
-	}
-	e.net.mu.Lock()
-	addr, ok := e.net.book[to]
-	e.net.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("transport: unknown destination %v", to)
-	}
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %v (%s): %w", to, addr, err)
-	}
-	e.conns[to] = c
-	return c, nil
+	return e.net.sendFrame(e.id, to, kind, payload, size, !stepped)
 }
 
 func (e *tcpEndpoint) acceptLoop() {
@@ -574,70 +595,107 @@ func (e *tcpEndpoint) acceptLoop() {
 	}
 }
 
-// MaxTCPPayload bounds a single frame to keep a malformed peer from forcing
-// a huge allocation.
-const MaxTCPPayload = 16 << 20
+// countingReader taps read syscalls for IOStats.
+type countingReader struct {
+	c  net.Conn
+	io *ioCounters
+}
+
+func (r countingReader) Read(p []byte) (int, error) {
+	n, err := r.c.Read(p)
+	if n > 0 {
+		r.io.reads.Add(1)
+		r.io.bytesIn.Add(uint64(n))
+	}
+	return n, err
+}
 
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
-	header := make([]byte, _tcpFrameHeader)
+	fr := newFrameReader(countingReader{c: conn, io: &e.net.io})
+	defer fr.close()
 	for {
-		if _, err := io.ReadFull(conn, header); err != nil {
+		h, payload, err := fr.next()
+		if err != nil {
 			return
 		}
-		from := model.NodeID(binary.BigEndian.Uint32(header[0:]))
-		to := model.NodeID(binary.BigEndian.Uint32(header[4:]))
-		kind := header[8]
-		n := binary.BigEndian.Uint32(header[9:])
-		if n > MaxTCPPayload || to != e.id {
+		if h.to != e.id {
 			return // protocol violation: drop the connection
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(conn, payload); err != nil {
-			return
 		}
 		select {
 		case <-e.net.done:
 			return
 		default:
 		}
-		msg := Message{From: from, To: to, Kind: kind, Payload: payload}
-		// Receive-side recheck: a frame that was in flight when its link
-		// partitioned or an end went down is lost here (counted once —
-		// admission passed it, so no PRNG double-roll).
-		if e.net.faults.ReceiveBlocked(msg) {
-			e.net.inflight.Add(-1)
+		if h.kind == kindJumbo {
+			escaped := false
+			err := decodeJumbo(payload, e.id, func(sh frameHeader, body []byte) error {
+				e.net.io.framesIn.Add(1)
+				if e.deliver(Message{From: sh.from, To: sh.to, Kind: sh.kind, Payload: body}) {
+					escaped = true
+				}
+				return nil
+			})
+			if escaped {
+				fr.markRetained()
+			}
+			if err != nil {
+				return // malformed jumbo: drop the connection
+			}
 			continue
 		}
-		e.net.charge(to, true, uint64(msg.WireSize()))
-		e.net.mu.Lock()
-		stepped := e.net.stepped
-		e.net.mu.Unlock()
-		if stepped {
-			e.net.inboxMu.Lock()
-			e.net.inbox = append(e.net.inbox, msg)
-			e.net.inboxMu.Unlock()
-			e.net.inflight.Add(-1)
-			continue
+		e.net.io.framesIn.Add(1)
+		if e.deliver(Message{From: h.from, To: h.to, Kind: h.kind, Payload: payload}) {
+			fr.markRetained()
 		}
-		e.handler(msg)
-		e.net.delivered.Add(1)
-		e.net.inflight.Add(-1)
 	}
 }
 
-// close tears the endpoint fully off the wire: the listener, the
-// connections it dialed, and the inbound connections peers dialed to it
-// (their next write fails, forcing a re-dial that the dead listener
-// rejects) — so a deregistered id stops receiving, not just accepting.
+// deliver runs one decoded frame through the receive-side pipeline —
+// fault recheck, download cap, charging, then inbox or handler — and
+// reports whether the payload escaped this call (it aliases a receive
+// arena; an escaped payload pins the arena out of the pool, honouring the
+// retained-message contract).
+func (e *tcpEndpoint) deliver(msg Message) bool {
+	// Receive-side recheck: a frame that was in flight when its link
+	// partitioned or an end went down is lost here (counted once —
+	// admission passed it, so no PRNG double-roll). Then the download-side
+	// cap: the receiver's NIC discards what exceeds its per-round inbound
+	// budget.
+	if e.net.faults.ReceiveBlocked(msg) {
+		e.net.inflight.Add(-1)
+		return false
+	}
+	if !e.net.faults.AdmitInbound(msg) {
+		e.net.inflight.Add(-1)
+		return false
+	}
+	e.net.charge(msg.To, true, uint64(msg.WireSize()))
+	e.net.mu.Lock()
+	stepped := e.net.stepped
+	e.net.mu.Unlock()
+	if stepped {
+		e.net.inboxMu.Lock()
+		e.net.inbox = append(e.net.inbox, msg)
+		e.net.inboxMu.Unlock()
+		e.net.inflight.Add(-1)
+		return true
+	}
+	e.handler(msg)
+	e.net.delivered.Add(1)
+	e.net.inflight.Add(-1)
+	return true
+}
+
+// close tears the endpoint off the accept side of the wire: the listener
+// and the inbound connections peers dialed to it (their next write fails,
+// forcing a re-dial that the dead listener rejects) — so a deregistered
+// id stops receiving, not just accepting. Outbound connections live in
+// the shared mux and are dropped by Unregister/Close.
 func (e *tcpEndpoint) close() {
 	_ = e.ln.Close()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for id, c := range e.conns {
-		_ = c.Close()
-		delete(e.conns, id)
-	}
 	for c := range e.accepted {
 		_ = c.Close()
 		delete(e.accepted, c)

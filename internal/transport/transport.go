@@ -296,6 +296,14 @@ func (n *MemNet) SetUploadCap(id model.NodeID, bytesPerRound uint64) {
 // wait before expiring (rounds; <= 0 disables expiry).
 func (n *MemNet) SetQueueDeadline(rounds int) { n.faults.SetQueueDeadline(rounds) }
 
+// SetDownloadCap bounds a node's inbound bytes per round (0 removes the
+// cap): the download side of the asymmetric-link model, applied at
+// delivery — over-budget arrivals are discarded at the receiver's NIC
+// after the sender was charged.
+func (n *MemNet) SetDownloadCap(id model.NodeID, bytesPerRound uint64) {
+	n.faults.SetDownloadCap(id, bytesPerRound)
+}
+
 // BeginRound runs the link model's round-boundary drain: the fault plane
 // expires over-age queued messages, resets the per-round upload budgets
 // and releases the backlog the fresh budgets allow; the released messages
@@ -437,6 +445,9 @@ func (n *MemNet) TakeWave() []Delivery {
 		if outcome != OutcomePass {
 			continue
 		}
+		if !n.faults.AdmitInbound(msg) {
+			continue
+		}
 		n.chargeRecvLocked(msg)
 		out = append(out, Delivery{Msg: msg})
 	}
@@ -446,6 +457,12 @@ func (n *MemNet) TakeWave() []Delivery {
 		// only cap-deferred messages stay queued between rounds, inside
 		// the fault plane.
 		if !n.admit(msg) {
+			continue
+		}
+		// The download-side cap applies at delivery, after the sender was
+		// charged: the bytes crossed the wire, the receiver's NIC is what
+		// discards them.
+		if !n.faults.AdmitInbound(msg) {
 			continue
 		}
 		n.chargeRecvLocked(msg)

@@ -1,0 +1,894 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// UDPNet is the datagram transport (-net udp): the paper's observation
+// that live streaming tolerates loss, taken at the wire. Only frames
+// whose kind requires reliability — the 5-message exchange that carries
+// stream content and keys, the judicial/accusation chain, and any kind
+// the wire package does not classify (other protocol planes) — ride a
+// lightweight ack/retransmit layer; the per-round monitoring traffic
+// (wire.LossTolerant) is fire-and-forget, sent once and never mourned.
+//
+// Framing is a container datagram: several sub-frames from one sender
+// coalesce into a single datagram per destination per flush (the UDP
+// analogue of TCP's jumbo frames), so a stepped engine phase costs about
+// one sendto syscall per (sender, destination) pair. Reliable sub-frames
+// carry a per-peer sequence number; the receiver acks every datagram's
+// reliable frames in one return datagram and deduplicates retransmits,
+// and the sender retransmits unacked frames on a backoff timer.
+//
+// The fault plane applies exactly as on TCP: full admission at Send (in
+// wall-clock order — statistically equivalent to MemNet, counter-exact
+// for the deterministic queue machinery), released backlog at BeginRound,
+// receive-side recheck and download cap at delivery. Wire-level loss is
+// on top of — and invisible to — the scripted plane: a lost unreliable
+// datagram is the tolerated stream loss the paper talks about, not a
+// scripted fault.
+//
+// Quiescence: inflight counts unacked reliable frames (decremented by
+// the ack, sender-side, so a give-up after max retries can never race a
+// double decrement). Fire-and-forget frames are not tracked; DeliverAll
+// grants one short settle pass after the reliable wire drains so
+// just-landed stragglers still deliver in their phase, and anything the
+// kernel dropped is simply gone — which is the semantics being modelled.
+type UDPNet struct {
+	mu      sync.Mutex
+	book    map[model.NodeID]string
+	dynIDs  map[model.NodeID]bool
+	nodes   map[model.NodeID]*udpEndpoint
+	traffic map[model.NodeID]*Traffic
+	dynHost string
+	wg      sync.WaitGroup
+	done    chan struct{}
+
+	faults *FaultPlane
+	io     ioCounters
+
+	stepped   bool
+	quiesce   time.Duration
+	inboxMu   sync.Mutex
+	inbox     []Message
+	inflight  atomic.Int64
+	delivered atomic.Uint64
+
+	retransOnce sync.Once
+}
+
+// NewUDPNet creates a UDP network over a static address book
+// (NodeID → "host:port").
+func NewUDPNet(book map[model.NodeID]string) *UDPNet {
+	cp := make(map[model.NodeID]string, len(book))
+	for id, addr := range book {
+		cp[id] = addr
+	}
+	return &UDPNet{
+		book:    cp,
+		dynIDs:  make(map[model.NodeID]bool),
+		nodes:   make(map[model.NodeID]*udpEndpoint),
+		traffic: make(map[model.NodeID]*Traffic),
+		faults:  NewFaultPlane(),
+		done:    make(chan struct{}),
+	}
+}
+
+// Faults returns the network's fault plane.
+func (u *UDPNet) Faults() *FaultPlane { return u.faults }
+
+// Name identifies the transport for run metadata.
+func (u *UDPNet) Name() string { return "udp" }
+
+// IOStats returns the wire-level operation counters.
+func (u *UDPNet) IOStats() IOStats { return u.io.snapshot() }
+
+// Dropped returns the fault plane's combined drop counter.
+func (u *UDPNet) Dropped() uint64 { return u.faults.Dropped() }
+
+// Deferred returns how many messages upload caps queued for later rounds.
+func (u *UDPNet) Deferred() uint64 { return u.faults.Deferred() }
+
+// CapExpired returns how many queued messages expired before release.
+func (u *UDPNet) CapExpired() uint64 { return u.faults.CapExpired() }
+
+// SetDynamic enables the dynamic roster (see TCPNet.SetDynamic).
+func (u *UDPNet) SetDynamic(host string) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.dynHost = host
+}
+
+// SetStepped switches delivery into the round engines' stepped contract
+// (see TCPNet.SetStepped).
+func (u *UDPNet) SetStepped(maxWait time.Duration) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.stepped = true
+	u.quiesce = maxWait
+}
+
+// SteppedMode reports whether stepped delivery is enabled.
+func (u *UDPNet) SteppedMode() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.stepped
+}
+
+// BeginRound drains the link model's round boundary exactly like TCPNet:
+// released backlog is re-admitted in release order, enqueued, and flushed
+// once per destination.
+func (u *UDPNet) BeginRound() {
+	released := u.faults.BeginRound()
+	if len(released) == 0 {
+		return
+	}
+	u.mu.Lock()
+	senders := make(map[model.NodeID]*udpEndpoint, len(u.nodes))
+	for id, ep := range u.nodes {
+		senders[id] = ep
+	}
+	u.mu.Unlock()
+	for _, msg := range released {
+		size := uint64(msg.WireSize())
+		outcome := u.faults.AdmitReleased(msg)
+		ep := senders[msg.From]
+		if ep == nil {
+			if outcome == OutcomePass {
+				u.faults.refundSpent(msg.From, size)
+			} else {
+				u.charge(msg.From, false, size)
+			}
+			continue
+		}
+		u.charge(msg.From, false, size)
+		if outcome != OutcomePass {
+			continue
+		}
+		_ = ep.sendFrame(msg.To, msg.Kind, msg.Payload, size, false)
+	}
+	u.FlushAll()
+}
+
+// Register implements Network: the node binds its UDP socket and serves
+// inbound datagrams to the handler.
+func (u *UDPNet) Register(id model.NodeID, h Handler) (Endpoint, error) {
+	if id == model.NoNode {
+		return nil, errors.New("transport: cannot register NoNode")
+	}
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	u.mu.Lock()
+	addr, static := u.book[id]
+	dynamic := !static && u.dynHost != ""
+	if dynamic {
+		addr = net.JoinHostPort(u.dynHost, "0")
+	}
+	u.mu.Unlock()
+	if !static && !dynamic {
+		return nil, fmt.Errorf("transport: node %v not in address book", id)
+	}
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	pc, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen udp %s: %w", addr, err)
+	}
+	// Size the socket buffers for phase bursts: a stepped round delivers a
+	// whole phase's datagrams in microseconds, far faster than the reader
+	// goroutine is scheduled on a loaded box. The kernel may cap these.
+	_ = pc.SetReadBuffer(4 << 20)
+	_ = pc.SetWriteBuffer(4 << 20)
+	ep := &udpEndpoint{
+		net:     u,
+		id:      id,
+		handler: h,
+		pc:      pc,
+		peers:   make(map[model.NodeID]*udpPeer),
+		srcs:    make(map[model.NodeID]*udpSrc),
+	}
+	u.mu.Lock()
+	if _, dup := u.nodes[id]; dup {
+		u.mu.Unlock()
+		_ = pc.Close()
+		return nil, fmt.Errorf("transport: node %v already registered", id)
+	}
+	u.nodes[id] = ep
+	if dynamic {
+		u.book[id] = pc.LocalAddr().String()
+		u.dynIDs[id] = true
+	}
+	if u.traffic[id] == nil {
+		u.traffic[id] = &Traffic{}
+	}
+	u.mu.Unlock()
+
+	u.wg.Add(1)
+	go func() {
+		defer u.wg.Done()
+		ep.readLoop()
+	}()
+	u.retransOnce.Do(func() {
+		u.wg.Add(1)
+		go func() {
+			defer u.wg.Done()
+			u.retransmitLoop()
+		}()
+	})
+	return ep, nil
+}
+
+// Unregister detaches a node mid-run: its socket closes and a dynamically
+// published address is retracted (see TCPNet.Unregister for the
+// accounting rationale). Reliable frames already in flight toward it are
+// abandoned by their senders' retry cap.
+func (u *UDPNet) Unregister(id model.NodeID) bool {
+	u.mu.Lock()
+	ep, ok := u.nodes[id]
+	if ok {
+		delete(u.nodes, id)
+		if u.dynIDs[id] {
+			delete(u.book, id)
+			delete(u.dynIDs, id)
+		}
+	}
+	u.mu.Unlock()
+	if !ok {
+		return false
+	}
+	_ = ep.pc.Close()
+	return true
+}
+
+func (u *UDPNet) handlerOf(id model.NodeID) Handler {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if ep, ok := u.nodes[id]; ok {
+		return ep.handler
+	}
+	return nil
+}
+
+func (u *UDPNet) charge(id model.NodeID, in bool, size uint64) {
+	u.mu.Lock()
+	tr := u.traffic[id]
+	if tr == nil {
+		tr = &Traffic{}
+		u.traffic[id] = tr
+	}
+	if in {
+		tr.BytesIn += size
+		tr.MsgsIn++
+	} else {
+		tr.BytesOut += size
+		tr.MsgsOut++
+	}
+	u.mu.Unlock()
+}
+
+func (u *UDPNet) unchargeSend(id model.NodeID, size uint64) {
+	u.mu.Lock()
+	if tr := u.traffic[id]; tr != nil && tr.BytesOut >= size && tr.MsgsOut > 0 {
+		tr.BytesOut -= size
+		tr.MsgsOut--
+	}
+	u.mu.Unlock()
+	u.faults.refundSpent(id, size)
+}
+
+// TrafficOf returns the cumulative traffic snapshot of a node.
+func (u *UDPNet) TrafficOf(id model.NodeID) Traffic {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if tr, ok := u.traffic[id]; ok {
+		return *tr
+	}
+	return Traffic{}
+}
+
+// TotalTraffic sums all per-node counters.
+func (u *UDPNet) TotalTraffic() Traffic {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	var total Traffic
+	for _, tr := range u.traffic {
+		total.Add(*tr)
+	}
+	return total
+}
+
+// FlushAll sends every endpoint's pending container datagrams — one
+// sendto per (sender, destination) pair with pending frames.
+func (u *UDPNet) FlushAll() {
+	u.mu.Lock()
+	eps := make([]*udpEndpoint, 0, len(u.nodes))
+	for _, ep := range u.nodes {
+		eps = append(eps, ep)
+	}
+	u.mu.Unlock()
+	for _, ep := range eps {
+		ep.flushAll()
+	}
+}
+
+// udpSettle is DeliverAll's grace pass for fire-and-forget frames: once
+// the reliable wire is quiescent, one short wait lets datagrams the
+// kernel already holds reach the inbox before the phase closes. Frames
+// the kernel dropped (or that arrive later still) are the loss the UDP
+// mode is built to tolerate.
+const udpSettle = time.Millisecond
+
+// DeliverAll waits until the wire quiesces (see TCPNet.DeliverAll; the
+// differences are the ack-driven inflight meaning and the settle pass).
+func (u *UDPNet) DeliverAll() int {
+	u.mu.Lock()
+	stepped, budget := u.stepped, u.quiesce
+	u.mu.Unlock()
+	if budget <= 0 {
+		budget = defaultQuiesce
+	}
+	deadline := time.Now().Add(budget)
+	start := u.delivered.Load()
+	lastInflight := u.inflight.Load()
+	lastProgress := time.Now()
+	settled := false
+	for {
+		u.FlushAll()
+		if stepped && u.drainInbox() {
+			lastProgress, settled = time.Now(), false
+			continue
+		}
+		inflight := u.inflight.Load()
+		if inflight == 0 {
+			if stepped && u.drainInbox() {
+				lastProgress, settled = time.Now(), false
+				continue
+			}
+			if !settled {
+				settled = true
+				time.Sleep(udpSettle)
+				continue
+			}
+			return int(u.delivered.Load() - start)
+		}
+		if inflight != lastInflight {
+			lastInflight, lastProgress, settled = inflight, time.Now(), false
+		}
+		now := time.Now()
+		if now.Sub(lastProgress) > quiesceIdle || now.After(deadline) {
+			return int(u.delivered.Load() - start)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func (u *UDPNet) drainInbox() bool {
+	u.inboxMu.Lock()
+	msgs := u.inbox
+	u.inbox = nil
+	u.inboxMu.Unlock()
+	if len(msgs) == 0 {
+		return false
+	}
+	for _, m := range msgs {
+		if h := u.handlerOf(m.To); h != nil {
+			h(m)
+			u.delivered.Add(1)
+		}
+	}
+	return true
+}
+
+// Close shuts down every socket and waits for the goroutines.
+func (u *UDPNet) Close() error {
+	u.mu.Lock()
+	select {
+	case <-u.done:
+	default:
+		close(u.done)
+	}
+	eps := make([]*udpEndpoint, 0, len(u.nodes))
+	for _, ep := range u.nodes {
+		eps = append(eps, ep)
+	}
+	u.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.pc.Close()
+	}
+	u.wg.Wait()
+	return nil
+}
+
+// Retransmission parameters: loopback RTT is microseconds, so the base
+// timeout is sized for scheduler noise; backoff doubles per try and the
+// retry cap bounds state for frames whose destination left the wire.
+const (
+	udpRTOBase  = 20 * time.Millisecond
+	udpMaxTries = 12
+)
+
+// retransmitLoop rescans every endpoint's unacked reliable frames on a
+// coarse tick, resending those whose backoff expired. A frame that
+// exhausts its retries is abandoned — its inflight slot is released
+// under the same lock that an arriving ack would take, so exactly one of
+// the two paths accounts for it.
+func (u *UDPNet) retransmitLoop() {
+	tick := time.NewTicker(udpRTOBase / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-u.done:
+			return
+		case <-tick.C:
+		}
+		u.mu.Lock()
+		eps := make([]*udpEndpoint, 0, len(u.nodes))
+		for _, ep := range u.nodes {
+			eps = append(eps, ep)
+		}
+		u.mu.Unlock()
+		now := time.Now()
+		for _, ep := range eps {
+			ep.retransmitDue(now)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Datagram framing
+// ---------------------------------------------------------------------------
+
+// Container datagram layout: from(4) count(2), then count sub-frames of
+// to(4) kind(1) flags(1) seq(4) len(4) payload. An ack sub-frame
+// (udpFlagAck) carries the acked sequence numbers as big-endian u32s in
+// its payload.
+const (
+	udpContainerHeader = 4 + 2
+	udpSubHeader       = 4 + 1 + 1 + 4 + 4
+	maxUDPDatagram     = 60000
+	// MaxUDPPayload bounds one frame's payload to what fits a datagram.
+	MaxUDPPayload = maxUDPDatagram - udpContainerHeader - udpSubHeader
+
+	udpFlagReliable uint8 = 1 << 0
+	udpFlagAck      uint8 = 1 << 1
+)
+
+// udpSub is one decoded sub-frame.
+type udpSub struct {
+	to    model.NodeID
+	kind  uint8
+	flags uint8
+	seq   uint32
+	body  []byte
+}
+
+// decodeUDPContainer walks a container datagram, handing each sub-frame
+// to fn zero-copy. Malformed input — truncated headers, lengths past the
+// buffer, sub-frame counts that do not match — errors and never panics
+// or over-reads.
+func decodeUDPContainer(b []byte, fn func(from model.NodeID, sub udpSub) error) error {
+	if len(b) < udpContainerHeader {
+		return fmt.Errorf("%w: truncated container", errBadFrame)
+	}
+	from := model.NodeID(binary.BigEndian.Uint32(b[0:]))
+	count := int(binary.BigEndian.Uint16(b[4:]))
+	off := udpContainerHeader
+	for i := 0; i < count; i++ {
+		if len(b)-off < udpSubHeader {
+			return fmt.Errorf("%w: truncated sub-frame header", errBadFrame)
+		}
+		sub := udpSub{
+			to:    model.NodeID(binary.BigEndian.Uint32(b[off:])),
+			kind:  b[off+4],
+			flags: b[off+5],
+			seq:   binary.BigEndian.Uint32(b[off+6:]),
+		}
+		n := int(binary.BigEndian.Uint32(b[off+10:]))
+		off += udpSubHeader
+		if n < 0 || n > len(b)-off {
+			return fmt.Errorf("%w: sub-frame length %d exceeds datagram", errBadFrame, n)
+		}
+		sub.body = b[off : off+n]
+		off += n
+		if err := fn(from, sub); err != nil {
+			return err
+		}
+	}
+	if off != len(b) {
+		return fmt.Errorf("%w: %d trailing bytes", errBadFrame, len(b)-off)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint
+// ---------------------------------------------------------------------------
+
+// unackedFrame is one reliable frame awaiting its ack.
+type unackedFrame struct {
+	to      model.NodeID
+	kind    uint8
+	seq     uint32
+	payload []byte // owned copy: retransmission outlives the caller's buffer
+	sentAt  time.Time
+	tries   int
+}
+
+// udpPeer is this endpoint's sender state toward one destination.
+type udpPeer struct {
+	addrStr string
+	addr    *net.UDPAddr
+	seq     uint32
+	unacked map[uint32]*unackedFrame
+	batch   []byte // pending container (header + sub-frames)
+	count   int
+}
+
+// udpSrc is this endpoint's receiver state for one source: the dedup
+// window for retransmitted reliable frames.
+type udpSrc struct {
+	seen    map[uint32]struct{}
+	maxSeen uint32
+}
+
+// dedupWindow bounds a source's seen set; sequence numbers far behind the
+// newest are pruned (a retransmit that stale has long been abandoned by
+// its sender's retry cap).
+const dedupWindow = 8192
+
+type udpEndpoint struct {
+	net     *UDPNet
+	id      model.NodeID
+	handler Handler
+	pc      *net.UDPConn
+
+	mu    sync.Mutex
+	peers map[model.NodeID]*udpPeer
+	srcs  map[model.NodeID]*udpSrc
+}
+
+func (e *udpEndpoint) NodeID() model.NodeID { return e.id }
+
+// Send implements Endpoint with the same admission/charging contract as
+// the TCP endpoint; the wire mechanics differ per kind (reliable vs
+// fire-and-forget).
+func (e *udpEndpoint) Send(to model.NodeID, kind uint8, payload []byte) error {
+	e.net.mu.Lock()
+	_, known := e.net.book[to]
+	stepped := e.net.stepped
+	e.net.mu.Unlock()
+	if !known {
+		return fmt.Errorf("transport: unknown destination %v", to)
+	}
+	if len(payload) > MaxUDPPayload {
+		return fmt.Errorf("transport: payload %d exceeds UDP frame limit %d", len(payload), MaxUDPPayload)
+	}
+	msg := Message{From: e.id, To: to, Kind: kind, Payload: payload}
+	size := uint64(msg.WireSize())
+	switch e.net.faults.Admit(msg) {
+	case OutcomeQueued:
+		return nil
+	case OutcomeDropped:
+		e.net.charge(e.id, false, size)
+		return nil
+	}
+	e.net.charge(e.id, false, size)
+	return e.sendFrame(to, kind, payload, size, !stepped)
+}
+
+// sendFrame enqueues one admitted, charged frame into the destination's
+// pending container; reliable kinds additionally enter the retransmit
+// set and raise inflight (released by the ack). flushNow sends the
+// container immediately (direct mode).
+func (e *udpEndpoint) sendFrame(to model.NodeID, kind uint8, payload []byte, size uint64, flushNow bool) error {
+	if len(payload) > MaxUDPPayload {
+		e.net.unchargeSend(e.id, size)
+		return fmt.Errorf("transport: payload %d exceeds UDP frame limit %d", len(payload), MaxUDPPayload)
+	}
+	e.mu.Lock()
+	p, err := e.peerLocked(to)
+	if err != nil {
+		e.mu.Unlock()
+		e.net.unchargeSend(e.id, size)
+		return err
+	}
+	p.seq++
+	seq := p.seq
+	reliable := !wire.LossTolerant(kind)
+	flags := uint8(0)
+	if reliable {
+		flags |= udpFlagReliable
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		p.unacked[seq] = &unackedFrame{to: to, kind: kind, seq: seq, payload: cp, sentAt: time.Now()}
+		e.net.inflight.Add(1)
+	}
+	e.appendSubLocked(p, to, kind, flags, seq, payload)
+	e.net.io.framesOut.Add(1)
+	if flushNow {
+		e.flushPeerLocked(p)
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// peerLocked resolves (and caches) the sender state toward to, refreshing
+// it when the destination's published address changed (dynamic
+// re-register). Abandoned unacked frames of a stale peer release their
+// inflight slots.
+func (e *udpEndpoint) peerLocked(to model.NodeID) (*udpPeer, error) {
+	e.net.mu.Lock()
+	addrStr, ok := e.net.book[to]
+	e.net.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown destination %v", to)
+	}
+	if p := e.peers[to]; p != nil {
+		if p.addrStr == addrStr {
+			return p, nil
+		}
+		e.net.inflight.Add(-int64(len(p.unacked)))
+		delete(e.peers, to)
+	}
+	addr, err := net.ResolveUDPAddr("udp", addrStr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %v (%s): %w", to, addrStr, err)
+	}
+	p := &udpPeer{addrStr: addrStr, addr: addr, unacked: make(map[uint32]*unackedFrame)}
+	p.batch = e.newContainerLocked(p.batch)
+	e.peers[to] = p
+	return p, nil
+}
+
+// newContainerLocked resets buf to an empty container header for this
+// endpoint.
+func (e *udpEndpoint) newContainerLocked(buf []byte) []byte {
+	buf = append(buf[:0], make([]byte, udpContainerHeader)...)
+	binary.BigEndian.PutUint32(buf[0:], uint32(e.id))
+	return buf
+}
+
+// appendSubLocked adds one sub-frame to the peer's pending container,
+// flushing first if it would not fit.
+func (e *udpEndpoint) appendSubLocked(p *udpPeer, to model.NodeID, kind, flags uint8, seq uint32, payload []byte) {
+	if len(p.batch)+udpSubHeader+len(payload) > maxUDPDatagram {
+		e.flushPeerLocked(p)
+	}
+	var hdr [udpSubHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(to))
+	hdr[4] = kind
+	hdr[5] = flags
+	binary.BigEndian.PutUint32(hdr[6:], seq)
+	binary.BigEndian.PutUint32(hdr[10:], uint32(len(payload)))
+	p.batch = append(p.batch, hdr[:]...)
+	p.batch = append(p.batch, payload...)
+	p.count++
+}
+
+// flushPeerLocked sends the peer's pending container, if any. UDP write
+// errors are not unwound: a datagram handed to the kernel may be lost
+// anyway, and the reliability layer (or loss tolerance) owns the
+// aftermath.
+func (e *udpEndpoint) flushPeerLocked(p *udpPeer) {
+	if p.count == 0 {
+		return
+	}
+	binary.BigEndian.PutUint16(p.batch[4:], uint16(p.count))
+	if _, err := e.pc.WriteToUDP(p.batch, p.addr); err == nil {
+		e.net.io.writes.Add(1)
+		e.net.io.bytesOut.Add(uint64(len(p.batch)))
+		if p.count > 1 {
+			e.net.io.jumbo.Add(1)
+		}
+	}
+	p.batch = e.newContainerLocked(p.batch)
+	p.count = 0
+}
+
+// flushAll sends every peer's pending container.
+func (e *udpEndpoint) flushAll() {
+	e.mu.Lock()
+	for _, p := range e.peers {
+		e.flushPeerLocked(p)
+	}
+	e.mu.Unlock()
+}
+
+// retransmitDue resends unacked reliable frames whose backoff expired,
+// abandoning those past the retry cap.
+func (e *udpEndpoint) retransmitDue(now time.Time) {
+	e.mu.Lock()
+	for _, p := range e.peers {
+		for seq, f := range p.unacked {
+			rto := udpRTOBase << min(f.tries, 6)
+			if now.Sub(f.sentAt) < rto {
+				continue
+			}
+			if f.tries >= udpMaxTries {
+				// The destination is not acking (gone, or its acks are
+				// lost for good): release the inflight slot here, under
+				// the same lock an ack would take — exactly one of the
+				// two paths retires the frame.
+				delete(p.unacked, seq)
+				e.net.inflight.Add(-1)
+				continue
+			}
+			f.tries++
+			f.sentAt = now
+			e.appendSubLocked(p, f.to, f.kind, udpFlagReliable, f.seq, f.payload)
+			e.flushPeerLocked(p)
+			e.net.io.retrans.Add(1)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// ackSeqsLocked removes acked frames from the retransmit set and releases
+// their inflight slots.
+func (e *udpEndpoint) ackSeqsLocked(peer model.NodeID, acks []byte) {
+	p := e.peers[peer]
+	if p == nil {
+		return
+	}
+	for off := 0; off+4 <= len(acks); off += 4 {
+		seq := binary.BigEndian.Uint32(acks[off:])
+		if _, ok := p.unacked[seq]; ok {
+			delete(p.unacked, seq)
+			e.net.inflight.Add(-1)
+		}
+	}
+}
+
+// srcLocked resolves the dedup window for one source.
+func (e *udpEndpoint) srcLocked(from model.NodeID) *udpSrc {
+	s := e.srcs[from]
+	if s == nil {
+		s = &udpSrc{seen: make(map[uint32]struct{})}
+		e.srcs[from] = s
+	}
+	return s
+}
+
+// markSeenLocked records a reliable frame's sequence number, reporting
+// whether it was already delivered (a retransmit to re-ack but not
+// re-deliver), and prunes the window.
+func (s *udpSrc) markSeenLocked(seq uint32) (dup bool) {
+	if _, ok := s.seen[seq]; ok {
+		return true
+	}
+	s.seen[seq] = struct{}{}
+	if seq > s.maxSeen {
+		s.maxSeen = seq
+	}
+	if len(s.seen) > 2*dedupWindow {
+		for old := range s.seen {
+			if old+dedupWindow < s.maxSeen {
+				delete(s.seen, old)
+			}
+		}
+	}
+	return false
+}
+
+// readLoop receives container datagrams into pooled arenas, delivers
+// their sub-frames zero-copy, and acks reliable traffic one return
+// datagram per received datagram.
+func (e *udpEndpoint) readLoop() {
+	arena := wire.GetArena(maxUDPDatagram + 4096)
+	defer func() { arena.Release() }()
+	var ackBuf []byte
+	for {
+		buf := arena.Bytes()
+		n, raddr, err := e.pc.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		select {
+		case <-e.net.done:
+			return
+		default:
+		}
+		e.net.io.reads.Add(1)
+		e.net.io.bytesIn.Add(uint64(n))
+		escaped := false
+		var ackSeqs []uint32
+		var from model.NodeID
+		decErr := decodeUDPContainer(buf[:n], func(f model.NodeID, sub udpSub) error {
+			from = f
+			switch {
+			case sub.flags&udpFlagAck != 0:
+				// Acks for frames we sent to f.
+				e.mu.Lock()
+				e.ackSeqsLocked(f, sub.body)
+				e.mu.Unlock()
+				return nil
+			case sub.to != e.id:
+				return fmt.Errorf("%w: sub-frame for %v on %v's socket", errBadFrame, sub.to, e.id)
+			}
+			e.net.io.framesIn.Add(1)
+			reliable := sub.flags&udpFlagReliable != 0
+			if reliable {
+				ackSeqs = append(ackSeqs, sub.seq)
+				e.mu.Lock()
+				dup := e.srcLocked(f).markSeenLocked(sub.seq)
+				e.mu.Unlock()
+				if dup {
+					return nil // re-acked above, not re-delivered
+				}
+			}
+			if e.deliver(Message{From: f, To: e.id, Kind: sub.kind, Payload: sub.body}) {
+				escaped = true
+			}
+			return nil
+		})
+		if decErr != nil {
+			// A malformed datagram is dropped whole; unlike TCP there is
+			// no connection to kill.
+			continue
+		}
+		if len(ackSeqs) > 0 {
+			ackBuf = e.encodeAck(ackBuf[:0], from, ackSeqs)
+			_, _ = e.pc.WriteToUDP(ackBuf, raddr)
+		}
+		if escaped {
+			arena.Pin()
+			arena.Release()
+			arena = wire.GetArena(maxUDPDatagram + 4096)
+		}
+	}
+}
+
+// encodeAck builds a single-sub ack container for the given peer.
+func (e *udpEndpoint) encodeAck(buf []byte, to model.NodeID, seqs []uint32) []byte {
+	buf = append(buf[:0], make([]byte, udpContainerHeader)...)
+	binary.BigEndian.PutUint32(buf[0:], uint32(e.id))
+	binary.BigEndian.PutUint16(buf[4:], 1)
+	var hdr [udpSubHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(to))
+	hdr[5] = udpFlagAck
+	binary.BigEndian.PutUint32(hdr[10:], uint32(4*len(seqs)))
+	buf = append(buf, hdr[:]...)
+	for _, s := range seqs {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], s)
+		buf = append(buf, b[:]...)
+	}
+	return buf
+}
+
+// deliver mirrors the TCP receive pipeline: fault recheck, download cap,
+// charging, then inbox or handler; it reports whether the payload escaped
+// (pinning the receive arena).
+func (e *udpEndpoint) deliver(msg Message) bool {
+	if e.net.faults.ReceiveBlocked(msg) {
+		return false
+	}
+	if !e.net.faults.AdmitInbound(msg) {
+		return false
+	}
+	e.net.charge(msg.To, true, uint64(msg.WireSize()))
+	e.net.mu.Lock()
+	stepped := e.net.stepped
+	e.net.mu.Unlock()
+	if stepped {
+		e.net.inboxMu.Lock()
+		e.net.inbox = append(e.net.inbox, msg)
+		e.net.inboxMu.Unlock()
+		return true
+	}
+	e.handler(msg)
+	e.net.delivered.Add(1)
+	return true
+}

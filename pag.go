@@ -670,6 +670,9 @@ type QueueStats struct {
 	// Expired counts queued messages dropped because they out-aged the
 	// queue deadline before their cap released them.
 	Expired uint64 `json:"expired"`
+	// DownloadDropped counts arrivals discarded by receivers' download
+	// caps (zero unless a download cap is set).
+	DownloadDropped uint64 `json:"download_dropped"`
 	// Depth is the backlog currently waiting across all nodes.
 	Depth int `json:"depth"`
 }
@@ -680,7 +683,12 @@ type QueueStats struct {
 // Expired means it can no longer keep up within the playout window.
 func (s *Session) QueueStats() QueueStats {
 	f := s.net.Faults()
-	return QueueStats{Deferred: f.Deferred(), Expired: f.CapExpired(), Depth: f.QueueDepth()}
+	return QueueStats{
+		Deferred:        f.Deferred(),
+		Expired:         f.CapExpired(),
+		DownloadDropped: f.DownloadDropped(),
+		Depth:           f.QueueDepth(),
+	}
 }
 
 // ConvictedNodes returns the nodes accused by at least threshold distinct

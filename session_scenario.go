@@ -34,6 +34,7 @@ type epochMark struct {
 	traffic     transport.Traffic
 	deferred    uint64
 	expired     uint64
+	dlDropped   uint64
 	queueDepth  int
 	queueByNode []transport.QueueBacklog
 }
@@ -64,6 +65,7 @@ func (s *Session) markAt(r model.Round) epochMark {
 		traffic:     s.clientTraffic(),
 		deferred:    f.Deferred(),
 		expired:     f.CapExpired(),
+		dlDropped:   f.DownloadDropped(),
 		queueDepth:  f.QueueDepth(),
 		queueByNode: f.QueueBacklogs(),
 	}
@@ -383,6 +385,10 @@ type EpochStat struct {
 	Deferred   uint64 `json:"deferred"`
 	Expired    uint64 `json:"expired"`
 	QueueDepth int    `json:"queue_depth"`
+	// DownloadDropped counts arrivals the receivers' download caps
+	// discarded during the epoch — the inbound half of the asymmetric
+	// link model; always zero unless a download cap is set.
+	DownloadDropped uint64 `json:"download_dropped,omitempty"`
 	// QueueDepthByNode breaks the epoch-end backlog down per capped
 	// sender, ascending id, zero-depth nodes omitted (empty/nil when no
 	// queue holds anything) — which link is drowning, not just that one
@@ -467,6 +473,7 @@ func (s *Session) EpochStats() []EpochStat {
 		// Bandwidth-plane activity over the same window.
 		st.Deferred = endMark.deferred - mark.deferred
 		st.Expired = endMark.expired - mark.expired
+		st.DownloadDropped = endMark.dlDropped - mark.dlDropped
 		st.QueueDepth = endMark.queueDepth
 		st.QueueDepthByNode = endMark.queueByNode
 
